@@ -1,0 +1,49 @@
+//! Runtime scaling of the scheduling algorithms (not a paper figure; an
+//! ablation documenting the cost of each strategy on growing random binary
+//! trees with the paper's weight distribution).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oocts_core::algorithms::Algorithm;
+use oocts_gen::random_binary_tree;
+use oocts_profile::bounds::{MemoryBound, MemoryBounds};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[100usize, 300, 1000, 3000] {
+        let tree = random_binary_tree(n, 1..=100, 42);
+        let bounds = MemoryBounds::of(&tree);
+        let memory = bounds.memory(MemoryBound::Middle);
+        for algo in [
+            Algorithm::PostOrderMinIo,
+            Algorithm::PostOrderMinMem,
+            Algorithm::OptMinMem,
+            Algorithm::RecExpand,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &(&tree, memory),
+                |b, (tree, memory)| b.iter(|| algo.run(tree, *memory).unwrap().io_volume),
+            );
+        }
+        // FullRecExpand only on the smaller sizes (it is the expensive one).
+        if n <= 1000 {
+            group.bench_with_input(
+                BenchmarkId::new("FullRecExpand", n),
+                &(&tree, memory),
+                |b, (tree, memory)| {
+                    b.iter(|| Algorithm::FullRecExpand.run(tree, *memory).unwrap().io_volume)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end benchmark of the figure-regeneration pipelines on reduced
+//! configurations: `cargo bench` therefore exercises the code path behind
+//! every table and figure of the paper (the full-scale runs are produced by
+//! the `fig*` binaries).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use oocts_bench::{
+    appendix_examples_report, counterexamples_report, synth_figure, trees_figure, Cli,
+};
+use oocts_profile::bounds::MemoryBound;
+
+fn quick_cli() -> Cli {
+    let mut cli = Cli::parse(["--quick".to_string()]);
+    cli.trees = 8;
+    cli.nodes = 300;
+    cli.scale = 1;
+    cli.full = false;
+    cli
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("fig02_counterexamples", |b| b.iter(counterexamples_report));
+    group.bench_function("figA_appendix_examples", |b| {
+        b.iter(appendix_examples_report)
+    });
+    let cli = quick_cli();
+    for (name, bound) in [
+        ("fig04_synth_mid", MemoryBound::Middle),
+        ("fig08_synth_lb", MemoryBound::LowerBound),
+        ("fig10_synth_peak", MemoryBound::BelowPeak),
+    ] {
+        group.bench_function(name, |b| b.iter(|| synth_figure(&cli, bound, name)));
+    }
+    for (name, bound) in [
+        ("fig05_trees_mid", MemoryBound::Middle),
+        ("fig09_trees_lb", MemoryBound::LowerBound),
+        ("fig11_trees_peak", MemoryBound::BelowPeak),
+    ] {
+        group.bench_function(name, |b| b.iter(|| trees_figure(&cli, bound, name)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

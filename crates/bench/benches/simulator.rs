@@ -1,0 +1,33 @@
+//! Throughput of the task-tree substrate: the FiF out-of-core simulator and
+//! the in-core memory profiler, on large random binary trees.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use oocts_gen::random_binary_tree;
+use oocts_profile::bounds::{MemoryBound, MemoryBounds};
+use oocts_tree::{fif_io, peak_memory, Schedule};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let tree = random_binary_tree(n, 1..=100, 7);
+        let schedule = Schedule::postorder(&tree);
+        let bounds = MemoryBounds::of(&tree);
+        let memory = bounds.memory(MemoryBound::Middle);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("peak_memory", n), &n, |b, _| {
+            b.iter(|| peak_memory(&tree, &schedule).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fif_io", n), &n, |b, _| {
+            b.iter(|| fif_io(&tree, &schedule, memory).unwrap().total_io)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Cost of the sparse multifrontal substrate: elimination tree, symbolic
+//! factorization and assembly-tree construction on grid Laplacians.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oocts_sparse::ordering::nested_dissection_2d;
+use oocts_sparse::{
+    assembly_tree, column_counts, elimination_tree, grid_laplacian_2d, AssemblyOptions,
+};
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &side in &[30usize, 60, 100] {
+        let pattern = grid_laplacian_2d(side, side, false);
+        let permuted = pattern.permute(&nested_dissection_2d(side, side));
+        group.bench_with_input(BenchmarkId::new("etree", side * side), &side, |b, _| {
+            b.iter(|| elimination_tree(&permuted))
+        });
+        let parent = elimination_tree(&permuted);
+        group.bench_with_input(
+            BenchmarkId::new("column_counts", side * side),
+            &side,
+            |b, _| b.iter(|| column_counts(&permuted, &parent)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assembly_tree", side * side),
+            &side,
+            |b, _| {
+                b.iter(|| {
+                    assembly_tree(&permuted, AssemblyOptions::default())
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablation (not a paper figure): sensitivity of `RecExpand` to the number of
+//! expansion iterations allowed per node — the design choice DESIGN.md calls
+//! out (the paper uses 2; `FullRecExpand` is the unbounded limit).
+use oocts_bench::{recexpand_ablation_report, Cli};
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    println!("{}", recexpand_ablation_report(&cli));
+}

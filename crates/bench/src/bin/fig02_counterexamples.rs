@@ -1,0 +1,4 @@
+//! Regenerates the counterexample study of Sections 4.3 and 4.4 (Figure 2).
+fn main() {
+    println!("{}", oocts_bench::counterexamples_report());
+}

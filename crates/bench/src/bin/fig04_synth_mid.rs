@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 of the paper (synth dataset, Middle memory bound).
+use oocts_bench::{Cli, synth_figure};
+use oocts_profile::bounds::MemoryBound;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let report = synth_figure(&cli, MemoryBound::Middle, "Figure 4");
+    println!("{report}");
+}

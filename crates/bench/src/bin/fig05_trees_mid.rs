@@ -1,0 +1,9 @@
+//! Regenerates Figure 5 of the paper (trees dataset, Middle memory bound).
+use oocts_bench::{Cli, trees_figure};
+use oocts_profile::bounds::MemoryBound;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let report = trees_figure(&cli, MemoryBound::Middle, "Figure 5");
+    println!("{report}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8 of the paper (synth dataset, LowerBound memory bound).
+use oocts_bench::{Cli, synth_figure};
+use oocts_profile::bounds::MemoryBound;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let report = synth_figure(&cli, MemoryBound::LowerBound, "Figure 8");
+    println!("{report}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 10 of the paper (synth dataset, BelowPeak memory bound).
+use oocts_bench::{Cli, synth_figure};
+use oocts_profile::bounds::MemoryBound;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let report = synth_figure(&cli, MemoryBound::BelowPeak, "Figure 10");
+    println!("{report}");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the worked examples of Appendix A (Figures 6 and 7).
+fn main() {
+    println!("{}", oocts_bench::appendix_examples_report());
+}

@@ -1,0 +1,168 @@
+//! A uniform interface over all scheduling strategies compared in the paper.
+//!
+//! Every strategy maps `(tree, M)` to a schedule; its I/O volume is always
+//! measured by the Furthest-in-the-Future simulator on that schedule
+//! (Theorem 1 makes this the fairest possible accounting). The
+//! [`Algorithm`] enum is what the evaluation harness, the benchmarks and the
+//! examples iterate over.
+
+use oocts_minmem::{opt_min_mem, post_order_min_mem};
+use oocts_tree::{fif_io, Schedule, Tree, TreeError};
+
+use crate::postorder::post_order_min_io;
+use crate::recexpand::{full_rec_expand, rec_expand};
+
+/// The scheduling strategies evaluated in the paper (Section 6) plus the
+/// peak-memory postorder baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Best postorder for I/O volume (Section 4.1; Agullo).
+    PostOrderMinIo,
+    /// Liu's optimal peak-memory traversal, run out-of-core with FiF
+    /// (Section 4.4).
+    OptMinMem,
+    /// The paper's cheap heuristic: at most two expansion rounds per node
+    /// (Section 5).
+    RecExpand,
+    /// The paper's full heuristic: expansion rounds until the subtree fits
+    /// (Section 5). Expensive; the paper only runs it on the SYNTH dataset.
+    FullRecExpand,
+    /// Best postorder for peak memory (Liu 1986), as an extra baseline not
+    /// plotted in the paper but useful for ablations.
+    PostOrderMinMem,
+}
+
+impl Algorithm {
+    /// The four strategies compared on the SYNTH dataset (paper, Figure 4).
+    pub const SYNTH_SET: [Algorithm; 4] = [
+        Algorithm::PostOrderMinIo,
+        Algorithm::OptMinMem,
+        Algorithm::RecExpand,
+        Algorithm::FullRecExpand,
+    ];
+
+    /// The three strategies compared on the TREES dataset (paper, Figure 5):
+    /// `FullRecExpand` is excluded because of its computational cost.
+    pub const TREES_SET: [Algorithm; 3] = [
+        Algorithm::PostOrderMinIo,
+        Algorithm::OptMinMem,
+        Algorithm::RecExpand,
+    ];
+
+    /// Every strategy known to the crate.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::PostOrderMinIo,
+        Algorithm::OptMinMem,
+        Algorithm::RecExpand,
+        Algorithm::FullRecExpand,
+        Algorithm::PostOrderMinMem,
+    ];
+
+    /// The name used in the paper (and in our reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::PostOrderMinIo => "PostOrderMinIO",
+            Algorithm::OptMinMem => "OptMinMem",
+            Algorithm::RecExpand => "RecExpand",
+            Algorithm::FullRecExpand => "FullRecExpand",
+            Algorithm::PostOrderMinMem => "PostOrderMinMem",
+        }
+    }
+
+    /// Computes this strategy's schedule for `tree` under memory bound
+    /// `memory`.
+    pub fn schedule(self, tree: &Tree, memory: u64) -> Result<Schedule, TreeError> {
+        match self {
+            Algorithm::PostOrderMinIo => Ok(post_order_min_io(tree, memory).0),
+            Algorithm::OptMinMem => Ok(opt_min_mem(tree).0),
+            Algorithm::RecExpand => Ok(rec_expand(tree, memory)?.schedule),
+            Algorithm::FullRecExpand => Ok(full_rec_expand(tree, memory)?.schedule),
+            Algorithm::PostOrderMinMem => Ok(post_order_min_mem(tree).0),
+        }
+    }
+
+    /// Runs the strategy and measures its I/O volume with the FiF simulator.
+    pub fn run(self, tree: &Tree, memory: u64) -> Result<AlgorithmResult, TreeError> {
+        let schedule = self.schedule(tree, memory)?;
+        let io = fif_io(tree, &schedule, memory)?;
+        Ok(AlgorithmResult {
+            algorithm: self,
+            io_volume: io.total_io,
+            performance: io.performance(memory),
+            schedule,
+        })
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of running one strategy on one instance.
+#[derive(Debug, Clone)]
+pub struct AlgorithmResult {
+    /// The strategy that produced this result.
+    pub algorithm: Algorithm,
+    /// Total I/O volume of the schedule under the FiF policy.
+    pub io_volume: u64,
+    /// The paper's performance metric `(M + IO)/M`.
+    pub performance: f64,
+    /// The schedule itself.
+    pub schedule: Schedule,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocts_tree::TreeBuilder;
+
+    fn fig6_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(1);
+        let l1 = b.add_child(root, 4);
+        let l2 = b.add_child(l1, 8);
+        let l3 = b.add_child(l2, 2);
+        b.add_child(l3, 9);
+        let r1 = b.add_child(root, 6);
+        let r2 = b.add_child(r1, 4);
+        b.add_child(r2, 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_produces_a_valid_full_schedule() {
+        let t = fig6_tree();
+        for algo in Algorithm::ALL {
+            let res = algo.run(&t, 10).unwrap();
+            res.schedule.validate(&t).unwrap();
+            assert_eq!(res.schedule.len(), t.len(), "{algo} must cover the tree");
+            assert!(res.performance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn postorder_algorithms_return_postorders() {
+        let t = fig6_tree();
+        for algo in [Algorithm::PostOrderMinIo, Algorithm::PostOrderMinMem] {
+            let s = algo.schedule(&t, 10).unwrap();
+            assert!(s.is_postorder(&t), "{algo} must return a postorder");
+        }
+    }
+
+    #[test]
+    fn run_reports_consistent_performance() {
+        let t = fig6_tree();
+        let res = Algorithm::OptMinMem.run(&t, 10).unwrap();
+        let expected = (10 + res.io_volume) as f64 / 10.0;
+        assert!((res.performance - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Exact MinIO by exhaustive search over all topological orders — the test
+//! oracle used to validate heuristics on small trees.
+//!
+//! By Theorem 1, for a fixed schedule the Furthest-in-the-Future policy
+//! yields a minimum-volume I/O function, so enumerating schedules and
+//! simulating FiF on each one explores the entire solution space.
+
+use oocts_tree::{fif_io, NodeId, Schedule, Tree, TreeError};
+
+/// Default safety limit on the number of nodes accepted by the brute-force
+/// searcher.
+pub const BRUTE_FORCE_MAX_NODES: usize = 11;
+
+/// Finds the minimum total I/O volume over *all* traversals of the tree under
+/// memory bound `memory`, together with a schedule achieving it.
+///
+/// Returns an error if the tree cannot be executed at all (`M < max w̄_i`).
+///
+/// # Panics
+/// Panics if the tree has more than [`BRUTE_FORCE_MAX_NODES`] nodes.
+pub fn brute_force_min_io(tree: &Tree, memory: u64) -> Result<(Schedule, u64), TreeError> {
+    assert!(
+        tree.len() <= BRUTE_FORCE_MAX_NODES,
+        "brute-force search limited to {BRUTE_FORCE_MAX_NODES} nodes"
+    );
+    for node in tree.node_ids() {
+        let need = tree.execution_weight(node);
+        if need > memory {
+            return Err(TreeError::InsufficientMemory {
+                node,
+                required: need,
+                available: memory,
+            });
+        }
+    }
+    let n = tree.len();
+    let mut missing: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    let mut ready: Vec<NodeId> = tree.node_ids().filter(|&i| tree.is_leaf(i)).collect();
+    let mut current = Vec::with_capacity(n);
+    let mut best: (Vec<NodeId>, u64) = (Vec::new(), u64::MAX);
+    explore(tree, memory, &mut ready, &mut missing, &mut current, &mut best);
+    debug_assert!(best.1 != u64::MAX);
+    Ok((Schedule::new(best.0), best.1))
+}
+
+fn explore(
+    tree: &Tree,
+    memory: u64,
+    ready: &mut Vec<NodeId>,
+    missing: &mut [usize],
+    current: &mut Vec<NodeId>,
+    best: &mut (Vec<NodeId>, u64),
+) {
+    if current.len() == tree.len() {
+        let schedule = Schedule::new(current.clone());
+        let io = fif_io(tree, &schedule, memory)
+            .expect("feasibility was checked before the search")
+            .total_io;
+        if io < best.1 {
+            *best = (current.clone(), io);
+        }
+        return;
+    }
+    let candidates: Vec<NodeId> = ready.clone();
+    for node in candidates {
+        let idx = ready.iter().position(|&x| x == node).unwrap();
+        ready.swap_remove(idx);
+        current.push(node);
+        let mut parent_became_ready = false;
+        if let Some(p) = tree.parent(node) {
+            missing[p.index()] -= 1;
+            if missing[p.index()] == 0 {
+                ready.push(p);
+                parent_became_ready = true;
+            }
+        }
+
+        explore(tree, memory, ready, missing, current, best);
+
+        if let Some(p) = tree.parent(node) {
+            if parent_became_ready {
+                let pos = ready.iter().position(|&x| x == p).unwrap();
+                ready.swap_remove(pos);
+            }
+            missing[p.index()] += 1;
+        }
+        current.pop();
+        ready.push(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postorder::post_order_min_io;
+    use oocts_tree::TreeBuilder;
+
+    #[test]
+    fn optimum_is_zero_when_memory_is_the_optimal_peak() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(2);
+        let a = b.add_child(r, 3);
+        b.add_child(a, 7);
+        b.add_child(r, 5);
+        let t = b.build().unwrap();
+        let peak = oocts_minmem::opt_min_mem_peak(&t);
+        let (s, io) = brute_force_min_io(&t, peak).unwrap();
+        assert_eq!(io, 0);
+        s.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn optimum_on_figure7_is_three() {
+        // Figure 7 (Appendix A), M = 7: the optimum is 3 I/Os, achieved by
+        // the best postorder (which writes out node c entirely).
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(1);
+        let c = b.add_child(root, 3);
+        let a = b.add_child(c, 2);
+        b.add_child(a, 7);
+        b.add_child(c, 3);
+        let bnode = b.add_child(root, 4);
+        b.add_child(bnode, 7);
+        let t = b.build().unwrap();
+        let (_, io) = brute_force_min_io(&t, 7).unwrap();
+        assert_eq!(io, 3);
+        let (s_po, _) = post_order_min_io(&t, 7);
+        assert_eq!(oocts_tree::fif_io(&t, &s_po, 7).unwrap().total_io, 3);
+    }
+
+    #[test]
+    fn infeasible_instances_rejected() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(10);
+        b.add_child(r, 10);
+        let t = b.build().unwrap();
+        assert!(brute_force_min_io(&t, 5).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Theorem 2: from an I/O function `τ` to a schedule `σ`.
+//!
+//! Given an I/O function `τ` for which *some* valid schedule exists, a valid
+//! schedule can be computed in polynomial time: expand every node `i` with
+//! `τ(i) > 0` (paper, Figure 3), run OptMinMem on the expanded tree, and map
+//! the resulting schedule back to the original tree. The expanded tree can be
+//! traversed within `M` units of memory if and only if `(σ, τ)` is feasible
+//! for some `σ`.
+
+use oocts_minmem::opt_min_mem;
+use oocts_tree::{ExpandedTree, Schedule, Tree, TreeError};
+
+/// Attempts to build a schedule `σ` such that `(σ, τ)` is a valid traversal
+/// of `tree` under memory bound `memory`.
+///
+/// Returns `Ok(schedule)` if one exists, `Err(TreeError::MemoryExceeded)` if
+/// no schedule is compatible with this I/O function, or another error if
+/// `τ` itself is malformed (e.g. `τ(i) > w_i`).
+pub fn schedule_for_io_function(
+    tree: &Tree,
+    tau: &[u64],
+    memory: u64,
+) -> Result<Schedule, TreeError> {
+    assert_eq!(tau.len(), tree.len(), "tau must be indexed by node id");
+    for node in tree.node_ids() {
+        if tau[node.index()] > tree.weight(node) {
+            return Err(TreeError::IoExceedsWeight {
+                node,
+                io: tau[node.index()],
+                weight: tree.weight(node),
+            });
+        }
+    }
+    let mut expanded = ExpandedTree::new(tree);
+    for node in tree.node_ids() {
+        if tau[node.index()] > 0 {
+            expanded.expand(node, tau[node.index()]);
+        }
+    }
+    let (schedule_exp, peak) = opt_min_mem(expanded.tree());
+    if peak > memory {
+        return Err(TreeError::MemoryExceeded {
+            node: tree.root(),
+            used: peak,
+            available: memory,
+        });
+    }
+    let schedule = expanded.to_original_schedule(&schedule_exp);
+    debug_assert!(schedule.validate(tree).is_ok());
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocts_tree::{check_traversal, TreeBuilder};
+
+    /// root(1) with two chains a(2) <- la(6) and b(2) <- lb(6):
+    /// peak without I/O is 8; with 1 unit of `a` written out, 7 suffices.
+    fn two_chains() -> Tree {
+        let mut bld = TreeBuilder::new();
+        let r = bld.add_root(1);
+        let a = bld.add_child(r, 2);
+        bld.add_child(a, 6);
+        let b = bld.add_child(r, 2);
+        bld.add_child(b, 6);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn feasible_tau_yields_valid_traversal() {
+        let t = two_chains();
+        let mut tau = vec![0u64; t.len()];
+        tau[1] = 1; // write one unit of node a
+        let schedule = schedule_for_io_function(&t, &tau, 7).unwrap();
+        // (σ, τ) is a valid traversal under M = 7 with exactly 1 I/O.
+        assert_eq!(check_traversal(&t, &schedule, &tau, 7).unwrap(), 1);
+    }
+
+    #[test]
+    fn infeasible_tau_is_rejected() {
+        let t = two_chains();
+        let tau = vec![0u64; t.len()];
+        // Without any I/O the best peak is 8 > 7: no schedule exists.
+        assert!(matches!(
+            schedule_for_io_function(&t, &tau, 7),
+            Err(TreeError::MemoryExceeded { .. })
+        ));
+        // But 8 units of memory are enough.
+        assert!(schedule_for_io_function(&t, &tau, 8).is_ok());
+    }
+
+    #[test]
+    fn malformed_tau_is_rejected() {
+        let t = two_chains();
+        let mut tau = vec![0u64; t.len()];
+        tau[1] = 100;
+        assert!(matches!(
+            schedule_for_io_function(&t, &tau, 7),
+            Err(TreeError::IoExceedsWeight { .. })
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the MinIO algorithms: optimality relations, exactness
+//! of the analytic formulas, and the homogeneous-tree theory, all validated
+//! against brute force on random small trees.
+
+use oocts_core::algorithms::Algorithm;
+use oocts_core::bruteforce::brute_force_min_io;
+use oocts_core::homogeneous;
+use oocts_core::postorder::post_order_min_io;
+use oocts_core::recexpand::{full_rec_expand, rec_expand};
+use oocts_core::theorem2::schedule_for_io_function;
+use oocts_minmem::opt_min_mem;
+use oocts_tree::{check_traversal, fif_io, Tree};
+use proptest::prelude::*;
+
+/// Random trees with `n ∈ [1, max_nodes]` nodes and weights in `[1, max_weight]`.
+fn random_tree(max_nodes: usize, max_weight: u64) -> impl Strategy<Value = Tree> {
+    (1..=max_nodes)
+        .prop_flat_map(move |n| {
+            let weights = proptest::collection::vec(1..=max_weight, n);
+            let parents: Vec<BoxedStrategy<usize>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(0usize).boxed()
+                    } else {
+                        (0..i).boxed()
+                    }
+                })
+                .collect();
+            (weights, parents)
+        })
+        .prop_map(|(weights, parents)| {
+            let opts: Vec<Option<usize>> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if i == 0 { None } else { Some(p) })
+                .collect();
+            Tree::from_parents(&weights, &opts).expect("valid random tree")
+        })
+}
+
+/// A feasible memory bound drawn between the structural lower bound and the
+/// optimal in-core peak (the interesting range of the paper).
+fn feasible_memory(tree: &Tree, fraction: f64) -> u64 {
+    let lb = tree.min_feasible_memory();
+    let peak = oocts_minmem::opt_min_mem_peak(tree);
+    let span = peak.saturating_sub(lb);
+    lb + (span as f64 * fraction).round() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every heuristic is at least as expensive as the brute-force optimum and
+    /// the generic lower bound `OptPeak − M`.
+    #[test]
+    fn heuristics_dominate_the_optimum(tree in random_tree(8, 9), frac in 0.0f64..=1.0) {
+        let m = feasible_memory(&tree, frac);
+        let (_, best) = brute_force_min_io(&tree, m).unwrap();
+        let opt_peak = oocts_minmem::opt_min_mem_peak(&tree);
+        prop_assert!(best >= opt_peak.saturating_sub(m));
+        for algo in Algorithm::ALL {
+            let res = algo.run(&tree, m).unwrap();
+            prop_assert!(
+                res.io_volume >= best,
+                "{algo} reported {} I/Os, below the optimum {best}",
+                res.io_volume
+            );
+        }
+    }
+
+    /// The analytic `V_root` of PostOrderMinIO equals the FiF simulation of
+    /// the schedule it returns.
+    #[test]
+    fn postorder_analysis_matches_simulation(tree in random_tree(16, 12), frac in 0.0f64..=1.0) {
+        let m = feasible_memory(&tree, frac);
+        let (schedule, analysis) = post_order_min_io(&tree, m);
+        let sim = fif_io(&tree, &schedule, m).unwrap();
+        prop_assert_eq!(analysis.total_io(&tree), sim.total_io);
+    }
+
+    /// On homogeneous trees: W(T) is simultaneously the I/O of PostOrderMinIO,
+    /// the brute-force optimum, and a lower bound on every other heuristic.
+    #[test]
+    fn homogeneous_postorder_is_optimal(tree in random_tree(8, 1), m in 1u64..=4) {
+        let lb = tree.min_feasible_memory();
+        let m = m.max(lb);
+        let w_t = homogeneous::min_io(&tree, m).unwrap();
+        let (_, best) = brute_force_min_io(&tree, m).unwrap();
+        prop_assert_eq!(w_t, best, "W(T) must equal the optimum");
+        let po = Algorithm::PostOrderMinIo.run(&tree, m).unwrap();
+        prop_assert_eq!(po.io_volume, best, "PostOrderMinIO must be optimal (Theorem 4)");
+        for algo in Algorithm::ALL {
+            let res = algo.run(&tree, m).unwrap();
+            prop_assert!(res.io_volume >= w_t);
+        }
+    }
+
+    /// Theorem 2 round-trip: the FiF I/O function of any heuristic schedule is
+    /// feasible, and the schedule reconstructed from it is a valid traversal
+    /// with that same I/O function.
+    #[test]
+    fn theorem2_roundtrip(tree in random_tree(10, 9), frac in 0.0f64..=1.0) {
+        let m = feasible_memory(&tree, frac);
+        let (schedule, _) = opt_min_mem(&tree);
+        let sim = fif_io(&tree, &schedule, m).unwrap();
+        let rebuilt = schedule_for_io_function(&tree, &sim.tau, m).unwrap();
+        let total = check_traversal(&tree, &rebuilt, &sim.tau, m).unwrap();
+        prop_assert_eq!(total, sim.total_io);
+    }
+
+    /// RecExpand and FullRecExpand always produce valid full schedules, never
+    /// hit the safety cap on these sizes, and FullRecExpand's forced I/O is an
+    /// upper bound on the measured I/O of its schedule.
+    #[test]
+    fn recexpand_invariants(tree in random_tree(10, 9), frac in 0.0f64..=1.0) {
+        let m = feasible_memory(&tree, frac);
+        for limited in [true, false] {
+            let out = if limited { rec_expand(&tree, m) } else { full_rec_expand(&tree, m) }.unwrap();
+            out.schedule.validate(&tree).unwrap();
+            prop_assert_eq!(out.schedule.len(), tree.len());
+            prop_assert!(!out.hit_iteration_cap);
+            let measured = fif_io(&tree, &out.schedule, m).unwrap().total_io;
+            if !limited {
+                // FullRecExpand expands until the tree fits, so the forced
+                // I/O pays for everything the schedule needs.
+                prop_assert!(measured <= out.forced_io,
+                    "measured {measured} > forced {}", out.forced_io);
+            }
+        }
+    }
+
+    /// The FiF I/O of any algorithm is zero as soon as the memory bound
+    /// reaches the optimal in-core peak.
+    #[test]
+    fn no_io_at_incore_peak(tree in random_tree(12, 9)) {
+        let peak = oocts_minmem::opt_min_mem_peak(&tree);
+        for algo in [Algorithm::OptMinMem, Algorithm::RecExpand, Algorithm::FullRecExpand] {
+            let res = algo.run(&tree, peak).unwrap();
+            prop_assert_eq!(res.io_volume, 0, "{} should need no I/O at M = peak", algo);
+        }
+    }
+}

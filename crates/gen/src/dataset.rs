@@ -1,0 +1,244 @@
+//! The two evaluation datasets of the paper (Section 6.1).
+//!
+//! * **SYNTH** — 330 synthetic binary trees of 3000 nodes, generated
+//!   uniformly at random among all binary trees, with node weights drawn
+//!   uniformly from `[1, 100]`.
+//! * **TREES** — elimination/assembly trees of actual sparse matrices. The
+//!   University of Florida collection used by the paper is not available
+//!   offline, so the dataset is *substituted* by assembly trees produced by
+//!   the [`oocts_sparse`] multifrontal pipeline on synthetic matrices (grid
+//!   Laplacians under several orderings and random sparse symmetric
+//!   matrices), which span the same range of shapes — deep and narrow,
+//!   shallow and bushy, regular and irregular — and the same kind of weight
+//!   growth towards the root. See DESIGN.md for the substitution rationale.
+
+use oocts_sparse::ordering::{compute_ordering, Ordering};
+use oocts_sparse::{assembly_tree, grid_laplacian_2d, grid_laplacian_3d, random_symmetric, AssemblyOptions};
+use oocts_tree::Tree;
+
+use crate::random::random_binary_tree;
+
+/// A named instance of a dataset.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// The task tree.
+    pub tree: Tree,
+}
+
+/// Configuration of the dataset builders, so the paper-scale and quick runs
+/// are both reproducible from the same code path.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Number of SYNTH instances (paper: 330).
+    pub synth_instances: usize,
+    /// Number of nodes of each SYNTH tree (paper: 3000).
+    pub synth_nodes: usize,
+    /// Scale factor of the TREES dataset in `[1, 4]`: larger values produce
+    /// more and larger matrices (1 ≈ laptop-quick, 3 ≈ paper-sized shapes).
+    pub trees_scale: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            synth_instances: 330,
+            synth_nodes: 3000,
+            trees_scale: 2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A reduced configuration for tests and quick experiments.
+    pub fn quick() -> Self {
+        DatasetConfig {
+            synth_instances: 20,
+            synth_nodes: 300,
+            trees_scale: 1,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Builds the SYNTH dataset: uniformly random binary trees with weights in
+/// `[1, 100]`.
+pub fn synth_dataset(config: &DatasetConfig) -> Vec<Instance> {
+    (0..config.synth_instances)
+        .map(|i| Instance {
+            name: format!("synth-{i:03}"),
+            tree: random_binary_tree(config.synth_nodes, 1..=100, config.seed ^ (i as u64)),
+        })
+        .collect()
+}
+
+/// Builds the TREES dataset: multifrontal assembly trees of synthetic sparse
+/// matrices under several fill-reducing orderings.
+pub fn trees_dataset(config: &DatasetConfig) -> Vec<Instance> {
+    let s = config.trees_scale.clamp(1, 4);
+    let mut out = Vec::new();
+    let opts = AssemblyOptions::default();
+
+    // 2-D grid Laplacians (5- and 9-point) under three orderings, including
+    // elongated grids whose elimination trees are deep and unbalanced.
+    let grid_sizes: Vec<(usize, usize)> = match s {
+        1 => vec![(20, 20), (30, 20), (40, 25), (60, 10)],
+        2 => vec![
+            (20, 20),
+            (30, 30),
+            (40, 40),
+            (60, 40),
+            (70, 70),
+            (100, 20),
+            (150, 12),
+            (45, 35),
+        ],
+        3 => vec![
+            (30, 30),
+            (50, 50),
+            (70, 70),
+            (90, 90),
+            (110, 100),
+            (200, 25),
+            (160, 40),
+        ],
+        _ => vec![
+            (40, 40),
+            (70, 70),
+            (100, 100),
+            (130, 130),
+            (160, 150),
+            (300, 30),
+        ],
+    };
+    for &(nx, ny) in &grid_sizes {
+        for nine in [false, true] {
+            let pattern = grid_laplacian_2d(nx, ny, nine);
+            for ordering in [
+                Ordering::NestedDissection,
+                Ordering::ReverseCuthillMcKee,
+                Ordering::MinimumDegree,
+            ] {
+                let grid = (ordering == Ordering::NestedDissection).then_some((nx, ny));
+                let perm = compute_ordering(&pattern, ordering, grid);
+                let permuted = pattern.permute(&perm);
+                if let Ok(tree) = assembly_tree(&permuted, opts) {
+                    out.push(Instance {
+                        name: format!(
+                            "grid2d-{nx}x{ny}{}-{ordering:?}",
+                            if nine { "-9pt" } else { "" }
+                        ),
+                        tree,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3-D grid Laplacians (natural + RCM orderings).
+    let grid3d: Vec<(usize, usize, usize)> = match s {
+        1 => vec![(6, 6, 6), (8, 8, 6)],
+        2 => vec![(8, 8, 8), (10, 10, 8), (12, 12, 10)],
+        3 => vec![(10, 10, 10), (14, 14, 12), (16, 16, 16)],
+        _ => vec![(12, 12, 12), (16, 16, 16), (20, 20, 18)],
+    };
+    for &(nx, ny, nz) in &grid3d {
+        let pattern = grid_laplacian_3d(nx, ny, nz);
+        for ordering in [Ordering::Natural, Ordering::ReverseCuthillMcKee] {
+            let perm = compute_ordering(&pattern, ordering, None);
+            let permuted = pattern.permute(&perm);
+            if let Ok(tree) = assembly_tree(&permuted, opts) {
+                out.push(Instance {
+                    name: format!("grid3d-{nx}x{ny}x{nz}-{ordering:?}"),
+                    tree,
+                });
+            }
+        }
+    }
+
+    // Random sparse symmetric matrices under minimum degree and RCM; several
+    // seeds per size so the dataset covers many irregular shapes.
+    let random_sizes: Vec<(usize, f64)> = match s {
+        1 => vec![(300, 3.0), (500, 4.0), (400, 2.5)],
+        2 => vec![
+            (500, 3.0),
+            (800, 4.0),
+            (1200, 5.0),
+            (2000, 3.5),
+            (600, 2.5),
+            (1500, 3.0),
+        ],
+        3 => vec![(1000, 3.0), (2000, 4.0), (4000, 4.0), (6000, 3.5), (3000, 2.5)],
+        _ => vec![(2000, 3.0), (4000, 4.0), (8000, 4.0), (12000, 3.5)],
+    };
+    let seeds_per_size = match s {
+        1 => 2,
+        2 => 3,
+        _ => 2,
+    };
+    for (i, &(n, deg)) in random_sizes.iter().enumerate() {
+        for rep in 0..seeds_per_size {
+            let seed = config
+                .seed
+                .wrapping_add((i * 97 + rep * 7919) as u64);
+            let pattern = random_symmetric(n, deg, seed);
+            for ordering in [Ordering::MinimumDegree, Ordering::ReverseCuthillMcKee] {
+                let perm = compute_ordering(&pattern, ordering, None);
+                let permuted = pattern.permute(&perm);
+                if let Ok(tree) = assembly_tree(&permuted, opts) {
+                    out.push(Instance {
+                        name: format!("rand-{n}-deg{deg}-s{rep}-{ordering:?}"),
+                        tree,
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_dataset_matches_configuration() {
+        let cfg = DatasetConfig {
+            synth_instances: 5,
+            synth_nodes: 120,
+            trees_scale: 1,
+            seed: 3,
+        };
+        let ds = synth_dataset(&cfg);
+        assert_eq!(ds.len(), 5);
+        for inst in &ds {
+            assert_eq!(inst.tree.len(), 120);
+            inst.tree.validate().unwrap();
+        }
+        // Deterministic.
+        let ds2 = synth_dataset(&cfg);
+        assert_eq!(ds[0].tree, ds2[0].tree);
+        // Distinct instances.
+        assert_ne!(ds[0].tree, ds[1].tree);
+    }
+
+    #[test]
+    fn trees_dataset_quick_is_nonempty_and_valid() {
+        let ds = trees_dataset(&DatasetConfig::quick());
+        assert!(ds.len() >= 10, "expected a reasonable number of instances");
+        for inst in &ds {
+            inst.tree.validate().unwrap();
+            assert!(inst.tree.len() > 20, "{} is too small", inst.name);
+        }
+        // A variety of shapes: at least one deep tree and one shallow tree.
+        let heights: Vec<usize> = ds.iter().map(|i| i.tree.height()).collect();
+        let min_h = *heights.iter().min().unwrap();
+        let max_h = *heights.iter().max().unwrap();
+        assert!(max_h > 3 * min_h, "heights {min_h}..{max_h} lack variety");
+    }
+}

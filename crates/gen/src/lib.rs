@@ -1,0 +1,24 @@
+//! # oocts-gen — task-tree generators and the paper's datasets
+//!
+//! Three families of instances are provided:
+//!
+//! * [`random`] — uniformly random binary trees (Rémy's algorithm, equivalent
+//!   to the half-Catalan sampling used in the paper) and other synthetic
+//!   shapes (chains, caterpillars, complete k-ary trees) with random weights;
+//! * [`paper`] — the hand-crafted instances of the paper: the counterexample
+//!   trees of Figure 2(a)/(b)/(c) with their parametric families, and the
+//!   worked examples of Appendix A (Figures 6 and 7);
+//! * [`dataset`] — the two evaluation datasets of Section 6: SYNTH (random
+//!   binary trees, 3000 nodes, weights uniform in `[1, 100]`) and TREES
+//!   (multifrontal assembly trees produced by the [`oocts_sparse`] substrate,
+//!   substituting for the University of Florida collection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod paper;
+pub mod random;
+
+pub use dataset::{synth_dataset, trees_dataset, DatasetConfig};
+pub use random::{random_binary_tree, random_weights, uniform_attachment_tree};

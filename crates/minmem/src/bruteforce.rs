@@ -1,0 +1,149 @@
+//! Exhaustive search over all topological orders — the test oracle for
+//! MinMem on small trees.
+
+use oocts_tree::{NodeId, Schedule, Tree};
+
+/// Default safety limit on the number of nodes accepted by the brute-force
+/// searchers (the number of topological orders grows factorially).
+pub const BRUTE_FORCE_MAX_NODES: usize = 12;
+
+/// Finds the minimum peak memory over *all* topological orders of the tree,
+/// together with one order achieving it.
+///
+/// # Panics
+/// Panics if the tree has more than [`BRUTE_FORCE_MAX_NODES`] nodes.
+pub fn brute_force_min_peak(tree: &Tree) -> (Schedule, u64) {
+    assert!(
+        tree.len() <= BRUTE_FORCE_MAX_NODES,
+        "brute-force search limited to {BRUTE_FORCE_MAX_NODES} nodes"
+    );
+    let n = tree.len();
+    // ready[i] = number of children not yet executed.
+    let mut missing: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    let mut ready: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&i| tree.is_leaf(i))
+        .collect();
+    let mut best = (Vec::new(), u64::MAX);
+    let mut current = Vec::with_capacity(n);
+    explore(
+        tree,
+        &mut ready,
+        &mut missing,
+        &mut current,
+        0,
+        0,
+        &mut best,
+    );
+    (Schedule::new(best.0), best.1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    tree: &Tree,
+    ready: &mut Vec<NodeId>,
+    missing: &mut [usize],
+    current: &mut Vec<NodeId>,
+    resident: u64,
+    peak: u64,
+    best: &mut (Vec<NodeId>, u64),
+) {
+    if peak >= best.1 {
+        return; // branch-and-bound: cannot improve
+    }
+    if current.len() == tree.len() {
+        best.0 = current.clone();
+        best.1 = peak;
+        return;
+    }
+    // Try every ready node. Snapshot the candidates: the `ready` vector is
+    // mutated and restored inside the loop body, which may permute it.
+    let candidates: Vec<NodeId> = ready.clone();
+    for node in candidates {
+        let w = tree.weight(node);
+        let cw = tree.children_weight(node);
+        let step_peak = resident + w.saturating_sub(cw);
+        let new_resident = resident - cw + w;
+        let new_peak = peak.max(step_peak);
+
+        // Apply.
+        let idx = ready.iter().position(|&x| x == node).unwrap();
+        ready.swap_remove(idx);
+        current.push(node);
+        let mut parent_became_ready = false;
+        if let Some(p) = tree.parent(node) {
+            missing[p.index()] -= 1;
+            if missing[p.index()] == 0 {
+                ready.push(p);
+                parent_became_ready = true;
+            }
+        }
+
+        explore(tree, ready, missing, current, new_resident, new_peak, best);
+
+        // Undo.
+        if let Some(p) = tree.parent(node) {
+            if parent_became_ready {
+                let pos = ready.iter().position(|&x| x == p).unwrap();
+                ready.swap_remove(pos);
+            }
+            missing[p.index()] += 1;
+        }
+        current.pop();
+        ready.push(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liu::opt_min_mem;
+    use oocts_tree::{peak_memory, TreeBuilder};
+
+    #[test]
+    fn brute_force_matches_liu_on_small_examples() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(2);
+        let a = b.add_child(r, 3);
+        b.add_child(a, 7);
+        let c = b.add_child(r, 5);
+        b.add_child(c, 2);
+        b.add_child(c, 4);
+        let t = b.build().unwrap();
+        let (s_bf, p_bf) = brute_force_min_peak(&t);
+        let (s_liu, p_liu) = opt_min_mem(&t);
+        assert_eq!(p_bf, p_liu);
+        assert_eq!(peak_memory(&t, &s_bf).unwrap(), p_bf);
+        assert_eq!(peak_memory(&t, &s_liu).unwrap(), p_liu);
+    }
+
+    #[test]
+    fn brute_force_explores_non_postorders() {
+        // Figure 2(b)-like shrunk instance where interleaving wins.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(1);
+        for _ in 0..2 {
+            let mut parent = root;
+            for &w in &[3u64, 5, 2, 6] {
+                parent = b.add_child(parent, w);
+            }
+        }
+        let t = b.build().unwrap();
+        let (_, p_bf) = brute_force_min_peak(&t);
+        assert_eq!(p_bf, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute-force search limited")]
+    fn brute_force_rejects_large_trees() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1);
+        for _ in 0..BRUTE_FORCE_MAX_NODES + 1 {
+            b.add_child(r, 1);
+        }
+        let t = b.build().unwrap();
+        brute_force_min_peak(&t);
+    }
+}

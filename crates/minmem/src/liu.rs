@@ -1,0 +1,228 @@
+//! OptMinMem: Liu's optimal algorithm for peak-memory minimization.
+//!
+//! The algorithm processes the tree bottom-up. The optimal traversal of each
+//! subtree is kept in its canonical hill–valley form (see
+//! [`crate::segments`]); at an inner node the children's segment sequences
+//! are merged in non-increasing `hill − valley` order (Liu's composition
+//! theorem, restated as Theorem 3 in the paper), the node itself is executed
+//! last, and the combined profile is re-decomposed.
+//!
+//! Correctness is property-tested against an exhaustive search over all
+//! topological orders for small random trees (see `tests/` and the
+//! `bruteforce` module).
+
+use oocts_tree::{NodeId, Schedule, Tree};
+
+use crate::segments::{decompose, merge, Atom, Segment};
+
+/// Computes a peak-memory-optimal traversal of the whole tree.
+///
+/// Returns the schedule and its peak memory.
+pub fn opt_min_mem(tree: &Tree) -> (Schedule, u64) {
+    opt_min_mem_subtree(tree, tree.root())
+}
+
+/// Computes a peak-memory-optimal traversal of the subtree rooted at `root`,
+/// as if it were an independent tree (no other data resident).
+///
+/// Returns the schedule (covering exactly the subtree) and its peak memory.
+pub fn opt_min_mem_subtree(tree: &Tree, root: NodeId) -> (Schedule, u64) {
+    let segments = optimal_segments(tree, root);
+    let peak = segments.iter().map(|s| s.hill).max().unwrap_or(0);
+    // The global peak is attained in the first segment (hills are
+    // non-increasing and the first segment starts from an empty memory).
+    debug_assert_eq!(peak, segments.first().map(|s| s.hill).unwrap_or(0));
+    let mut order = Vec::new();
+    for seg in segments {
+        order.extend(seg.tasks);
+    }
+    (Schedule::new(order), peak)
+}
+
+/// Convenience wrapper returning only the optimal peak memory
+/// (`Peak_incore` in the paper's Section 6.1).
+pub fn opt_min_mem_peak(tree: &Tree) -> u64 {
+    opt_min_mem(tree).1
+}
+
+/// Computes the canonical hill–valley representation of an optimal traversal
+/// of the subtree rooted at `root`.
+pub fn optimal_segments(tree: &Tree, root: NodeId) -> Vec<Segment> {
+    // Bottom-up over an iterative postorder so arbitrarily deep trees do not
+    // overflow the call stack.
+    let order = tree.subtree_postorder(root);
+    let mut results: Vec<Option<Vec<Segment>>> = vec![None; tree.len()];
+    for node in order {
+        let children = tree.children(node);
+        let segs = if children.is_empty() {
+            let w = tree.weight(node);
+            vec![Segment {
+                hill: w,
+                valley: w,
+                tasks: vec![node],
+            }]
+        } else {
+            let child_segs: Vec<Vec<Segment>> = children
+                .iter()
+                .map(|&c| {
+                    results[c.index()]
+                        .take()
+                        .expect("postorder processes children before parents")
+                })
+                .collect();
+            combine(tree, node, child_segs)
+        };
+        results[node.index()] = Some(segs);
+    }
+    results[root.index()]
+        .take()
+        .expect("root processed last in postorder")
+}
+
+/// Liu's composition step: merge the children's canonical segment sequences,
+/// execute `node` last, and re-decompose the resulting profile.
+fn combine(tree: &Tree, node: NodeId, children: Vec<Vec<Segment>>) -> Vec<Segment> {
+    let merged = merge(children);
+    let w = tree.weight(node);
+    let cw = tree.children_weight(node);
+    let wbar = w.max(cw);
+
+    let mut atoms = Vec::with_capacity(merged.len() + 1);
+    let mut base = 0u64;
+    for seg in merged {
+        let peak = base + seg.hill;
+        base += seg.valley;
+        atoms.push(Atom {
+            peak,
+            resident: base,
+            tasks: seg.tasks,
+        });
+    }
+    debug_assert_eq!(base, cw, "children valleys must sum to their weights");
+    // Executing the node: all children outputs (and nothing else from this
+    // subtree) are resident, so the absolute peak is exactly w̄ and the
+    // resident data afterwards is the node's own output.
+    atoms.push(Atom {
+        peak: wbar,
+        resident: w,
+        tasks: vec![node],
+    });
+    decompose(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocts_tree::{peak_memory, TreeBuilder};
+
+    #[test]
+    fn singleton_tree() {
+        let t = Tree::singleton(7);
+        let (s, peak) = opt_min_mem(&t);
+        assert_eq!(peak, 7);
+        assert_eq!(s.len(), 1);
+        assert_eq!(peak_memory(&t, &s).unwrap(), 7);
+    }
+
+    #[test]
+    fn chain_peak_is_max_edge() {
+        // Chain root(1) <- a(5) <- b(3) <- c(4): peak = max over nodes of
+        // max(w_i, w_child) = 5 (executing a with b... let's check: execute
+        // c: 4; b: max(3,4)=4; a: max(5,3)=5; root: max(1,5)=5.
+        let mut bld = TreeBuilder::new();
+        let r = bld.add_root(1);
+        let a = bld.add_child(r, 5);
+        let b = bld.add_child(a, 3);
+        bld.add_child(b, 4);
+        let t = bld.build().unwrap();
+        let (s, peak) = opt_min_mem(&t);
+        assert_eq!(peak, 5);
+        assert_eq!(peak_memory(&t, &s).unwrap(), 5);
+        s.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn reported_peak_matches_simulation() {
+        // Figure 6's tree from the paper (left diagram).
+        let t = fig6_tree();
+        let (s, peak) = opt_min_mem(&t);
+        s.validate(&t).unwrap();
+        assert_eq!(peak_memory(&t, &s).unwrap(), peak);
+    }
+
+    /// The tree of Appendix A, Figure 6: the optimal peak memory is 12.
+    fn fig6_tree() -> Tree {
+        // Left branch: root <- 4 <- 8 <- 2(a) <- 9 ; right branch:
+        // root <- 6 <- 4(b) <- 10. Node "root" has weight... the figure
+        // shows root at top; weights along left chain (top to bottom):
+        // 4, 8, 2, 9 and right chain: 6, 4, 10. Root weight is not shown;
+        // use 1.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(1);
+        let l1 = b.add_child(root, 4);
+        let l2 = b.add_child(l1, 8);
+        let l3 = b.add_child(l2, 2);
+        b.add_child(l3, 9);
+        let r1 = b.add_child(root, 6);
+        let r2 = b.add_child(r1, 4);
+        b.add_child(r2, 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig6_opt_min_mem_peak_is_12() {
+        // The paper (Appendix A) states that OptMinMem reaches a peak of 12
+        // on this instance by interleaving the two branches.
+        let t = fig6_tree();
+        let (_, peak) = opt_min_mem(&t);
+        assert_eq!(peak, 12);
+    }
+
+    #[test]
+    fn subtree_optimum_is_local() {
+        let t = fig6_tree();
+        // Subtree rooted at the left-branch node of weight 8 (id 2): chain
+        // 8 <- 2 <- 9 → peak = max(9, max(2,9), max(8,2)) = 9.
+        let (s, peak) = opt_min_mem_subtree(&t, NodeId(2));
+        assert_eq!(peak, 9);
+        assert_eq!(s.len(), 3);
+        s.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn interleaving_beats_postorder_when_useful() {
+        // Classic example where any postorder is worse than the optimal
+        // traversal: two "heavy leaf, light residue" branches.
+        // root(1) with two identical chains: x(1) <- y(10).
+        // Postorder peak: process one chain (peak 10, residue 1), then the
+        // other (10 + 1 = 11). Optimal cannot do better here (11 vs 11)...
+        // Use the paper's Figure 2(b) instead, where OptMinMem reaches 8
+        // while the best postorder reaches 9.
+        let t = fig2b_tree();
+        let (s, peak) = opt_min_mem(&t);
+        s.validate(&t).unwrap();
+        assert_eq!(peak, 8);
+        assert_eq!(peak_memory(&t, &s).unwrap(), 8);
+    }
+
+    /// Figure 2(b): root with two chains of weights (from root down)
+    /// 3, 5, 2, 6 and 3, 5, 2, 6 — wait, the figure labels are
+    /// (3,5,2,6) on the left chain and (3,5,2,6) on the right; node labels
+    /// inside give weights 3,5,2,6 / 3,5,2,6. See `oocts-gen` for the exact
+    /// instance; here we rebuild it locally to keep the crate dependency-free.
+    fn fig2b_tree() -> Tree {
+        // Weights inside nodes, left chain top→bottom: 3, 5, 2, 6;
+        // right chain: 3, 5, 2, 6. Root weight from figure: root node shown
+        // without weight label is the sink; we follow the oocts-gen
+        // construction: root(1) with two chains [3,5,2,6].
+        let mut b = TreeBuilder::new();
+        let root = b.add_root(1);
+        for _ in 0..2 {
+            let mut parent = root;
+            for &w in &[3u64, 5, 2, 6] {
+                parent = b.add_child(parent, w);
+            }
+        }
+        b.build().unwrap()
+    }
+}

@@ -1,0 +1,256 @@
+//! Hill–valley segments: the compact representation of (partial) traversals
+//! used by Liu's optimal MinMem algorithm.
+//!
+//! A traversal of a subtree is summarised by a sequence of *segments*. Each
+//! segment covers a contiguous run of the traversal and records, **relative
+//! to the memory resident when the segment starts**:
+//!
+//! * its `hill` — the maximum memory in use at any point of the segment, and
+//! * its `valley` — the memory still resident when the segment ends.
+//!
+//! The canonical decomposition (Liu 1987) cuts the traversal at the global
+//! minimum of the memory profile following each global maximum, which yields
+//! segments whose `hill − valley` values are non-increasing. Liu's
+//! composition theorem states that an optimal traversal of a node is obtained
+//! by merging the segments of its children's optimal traversals in
+//! non-increasing `hill − valley` order and executing the node last.
+
+use oocts_tree::NodeId;
+
+/// A contiguous piece of a traversal, summarised by its hill and valley
+/// (both relative to the memory resident when the segment starts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Maximum memory used during the segment (relative to its start).
+    pub hill: u64,
+    /// Memory still resident at the end of the segment (relative to its
+    /// start). Always `≤ hill`.
+    pub valley: u64,
+    /// The tasks executed by this segment, in order.
+    pub tasks: Vec<NodeId>,
+}
+
+impl Segment {
+    /// The sort key of Liu's composition theorem: segments are merged in
+    /// non-increasing `hill − valley` order.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        self.hill - self.valley
+    }
+}
+
+/// One step of an absolute memory profile used while re-decomposing a merged
+/// traversal: the peak reached while the step runs and the memory resident
+/// after it, both *absolute* within the subtree being combined.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    /// Peak memory while the atom runs (absolute).
+    pub peak: u64,
+    /// Memory resident after the atom (absolute).
+    pub resident: u64,
+    /// The tasks of this atom.
+    pub tasks: Vec<NodeId>,
+}
+
+/// Canonical hill–valley decomposition of a sequence of atoms.
+///
+/// Boundaries are placed at the (last occurrence of the) minimum resident
+/// value following each (first occurrence of the) maximum peak, which
+/// guarantees non-increasing hills, non-decreasing valleys and therefore
+/// non-increasing `hill − valley` keys.
+pub fn decompose(atoms: Vec<Atom>) -> Vec<Segment> {
+    let n = atoms.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Suffix maxima of peaks (first index achieving the max) and, for valley
+    // lookups, we recompute minima on demand per segment; both passes stay
+    // linear overall because every atom is scanned at most twice.
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut resident_before = 0u64;
+    while start < n {
+        // First index in [start, n) with the maximum peak.
+        let mut hill_idx = start;
+        for i in start..n {
+            if atoms[i].peak > atoms[hill_idx].peak {
+                hill_idx = i;
+            }
+        }
+        // Last index in [hill_idx, n) with the minimum resident.
+        let mut valley_idx = hill_idx;
+        for i in hill_idx..n {
+            if atoms[i].resident <= atoms[valley_idx].resident {
+                valley_idx = i;
+            }
+        }
+        let hill_abs = atoms[hill_idx].peak;
+        let valley_abs = atoms[valley_idx].resident;
+        let mut tasks = Vec::new();
+        for atom in &mut atoms[start..=valley_idx].iter() {
+            tasks.extend_from_slice(&atom.tasks);
+        }
+        // Both values are at least the previous valley: the previous valley
+        // was the minimum resident over a suffix containing this one.
+        debug_assert!(hill_abs >= resident_before);
+        debug_assert!(valley_abs >= resident_before);
+        segments.push(Segment {
+            hill: hill_abs - resident_before,
+            valley: valley_abs - resident_before,
+            tasks,
+        });
+        resident_before = valley_abs;
+        start = valley_idx + 1;
+    }
+    debug_assert!(is_canonical(&segments));
+    segments
+}
+
+/// `true` if the segment keys are non-increasing (the invariant required by
+/// the composition merge).
+pub fn is_canonical(segments: &[Segment]) -> bool {
+    segments.windows(2).all(|w| w[0].key() >= w[1].key())
+}
+
+/// Merges several canonical segment sequences into a single sequence ordered
+/// by non-increasing `hill − valley`, preserving the internal order of each
+/// input sequence (ties never reorder segments of the same child).
+pub fn merge(children: Vec<Vec<Segment>>) -> Vec<Segment> {
+    let total: usize = children.iter().map(Vec::len).sum();
+    let mut queues: Vec<std::vec::IntoIter<Segment>> =
+        children.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<Segment>> = queues.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        // Pick the child whose head segment has the largest key.
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(seg) = head {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if seg.key() > heads[b].as_ref().unwrap().key() {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(i) = best else { break };
+        let seg = heads[i].take().unwrap();
+        out.push(seg);
+        heads[i] = queues[i].next();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(peak: u64, resident: u64, id: u32) -> Atom {
+        Atom {
+            peak,
+            resident,
+            tasks: vec![NodeId(id)],
+        }
+    }
+
+    #[test]
+    fn decompose_single_atom() {
+        let segs = decompose(vec![atom(5, 3, 0)]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].hill, 5);
+        assert_eq!(segs[0].valley, 3);
+        assert_eq!(segs[0].tasks, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn decompose_monotone_profile() {
+        // Peaks decreasing, residents increasing: each atom is its own
+        // segment only if the hills strictly dominate; here the global max is
+        // the first atom and the minimum resident afterwards is at the first
+        // atom itself.
+        let segs = decompose(vec![atom(10, 2, 0), atom(6, 4, 1), atom(5, 5, 2)]);
+        assert_eq!(segs.len(), 3);
+        assert_eq!((segs[0].hill, segs[0].valley), (10, 2));
+        // Segment 2 is relative to resident 2, segment 3 to resident 4.
+        assert_eq!((segs[1].hill, segs[1].valley), (4, 2));
+        assert_eq!((segs[2].hill, segs[2].valley), (1, 1));
+        assert!(is_canonical(&segs));
+    }
+
+    #[test]
+    fn decompose_groups_atoms_before_the_peak() {
+        // The global peak is in the middle: everything before it joins its
+        // segment.
+        let segs = decompose(vec![atom(3, 1, 0), atom(9, 4, 1), atom(5, 5, 2)]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].hill, segs[0].valley), (9, 4));
+        assert_eq!(segs[0].tasks, vec![NodeId(0), NodeId(1)]);
+        assert_eq!((segs[1].hill, segs[1].valley), (1, 1));
+    }
+
+    #[test]
+    fn decompose_takes_minimum_after_the_peak() {
+        // Resident dips after the peak: the boundary is at the dip.
+        let segs = decompose(vec![atom(9, 6, 0), atom(7, 2, 1), atom(6, 5, 2)]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].hill, segs[0].valley), (9, 2));
+        assert_eq!(segs[0].tasks, vec![NodeId(0), NodeId(1)]);
+        assert_eq!((segs[1].hill, segs[1].valley), (4, 3));
+        assert!(is_canonical(&segs));
+    }
+
+    #[test]
+    fn merge_orders_by_key_and_preserves_child_order() {
+        let a = vec![
+            Segment {
+                hill: 10,
+                valley: 1,
+                tasks: vec![NodeId(0)],
+            },
+            Segment {
+                hill: 4,
+                valley: 2,
+                tasks: vec![NodeId(1)],
+            },
+        ];
+        let b = vec![Segment {
+            hill: 8,
+            valley: 3,
+            tasks: vec![NodeId(2)],
+        }];
+        let merged = merge(vec![a, b]);
+        let keys: Vec<u64> = merged.iter().map(Segment::key).collect();
+        assert_eq!(keys, vec![9, 5, 2]);
+        // Child a's two segments keep their relative order.
+        let pos0 = merged
+            .iter()
+            .position(|s| s.tasks.contains(&NodeId(0)))
+            .unwrap();
+        let pos1 = merged
+            .iter()
+            .position(|s| s.tasks.contains(&NodeId(1)))
+            .unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn merge_with_equal_keys_does_not_reorder_same_child() {
+        let a = vec![
+            Segment {
+                hill: 5,
+                valley: 1,
+                tasks: vec![NodeId(0)],
+            },
+            Segment {
+                hill: 4,
+                valley: 0,
+                tasks: vec![NodeId(1)],
+            },
+        ];
+        let merged = merge(vec![a.clone()]);
+        assert_eq!(merged, a);
+    }
+}

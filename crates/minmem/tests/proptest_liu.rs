@@ -1,0 +1,67 @@
+//! Property tests: Liu's OptMinMem is exactly optimal, and the best postorder
+//! is never better than it.
+
+use oocts_minmem::{brute_force_min_peak, opt_min_mem, post_order_min_mem};
+use oocts_tree::{peak_memory, Tree};
+use proptest::prelude::*;
+
+/// Strategy: random trees with `n ∈ [1, 9]` nodes and weights in `[1, 12]`.
+/// Node 0 is the root and the parent of node `i > 0` is a uniformly random
+/// node with a smaller index, which generates every tree shape.
+fn random_tree(max_nodes: usize, max_weight: u64) -> impl Strategy<Value = Tree> {
+    (1..=max_nodes)
+        .prop_flat_map(move |n| {
+            let weights = proptest::collection::vec(1..=max_weight, n);
+            let parents: Vec<BoxedStrategy<usize>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(0usize).boxed()
+                    } else {
+                        (0..i).boxed()
+                    }
+                })
+                .collect();
+            (weights, parents)
+        })
+        .prop_map(|(weights, parents)| {
+            let opts: Vec<Option<usize>> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if i == 0 { None } else { Some(p) })
+                .collect();
+            Tree::from_parents(&weights, &opts).expect("construction is always a valid tree")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn opt_min_mem_matches_brute_force(tree in random_tree(9, 12)) {
+        let (schedule, peak) = opt_min_mem(&tree);
+        schedule.validate(&tree).unwrap();
+        prop_assert_eq!(schedule.len(), tree.len());
+        // The reported peak is the simulated peak of the returned schedule.
+        prop_assert_eq!(peak_memory(&tree, &schedule).unwrap(), peak);
+        // And it matches the exhaustive optimum.
+        let (_, best) = brute_force_min_peak(&tree);
+        prop_assert_eq!(peak, best);
+    }
+
+    #[test]
+    fn post_order_min_mem_is_valid_and_dominated(tree in random_tree(9, 12)) {
+        let (schedule, peak) = post_order_min_mem(&tree);
+        schedule.validate(&tree).unwrap();
+        prop_assert!(schedule.is_postorder(&tree));
+        prop_assert_eq!(peak_memory(&tree, &schedule).unwrap(), peak);
+        let (_, opt) = opt_min_mem(&tree);
+        prop_assert!(peak >= opt);
+    }
+
+    #[test]
+    fn peaks_are_bounded_by_total_weight_and_lb(tree in random_tree(9, 12)) {
+        let (_, peak) = opt_min_mem(&tree);
+        prop_assert!(peak >= tree.min_feasible_memory());
+        prop_assert!(peak <= tree.total_weight().max(tree.min_feasible_memory()));
+    }
+}

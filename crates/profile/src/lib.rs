@@ -1,0 +1,28 @@
+//! # oocts-profile — evaluation harness
+//!
+//! Everything needed to reproduce the experimental section of the paper
+//! (Section 6 and Appendix B):
+//!
+//! * [`bounds`] — per-instance memory bounds: the structural lower bound
+//!   `LB = max_i w̄_i`, the optimal in-core peak, and the three memory
+//!   bounds used by the paper (`M1 = LB`, `M_mid = (LB + Peak − 1)/2`,
+//!   `M2 = Peak − 1`);
+//! * [`metric`] — the paper's performance metric `(M + IO)/M`;
+//! * [`profile`] — Dolan–Moré performance profiles (cumulative distribution
+//!   of the overhead with respect to the best algorithm on each instance),
+//!   with CSV and ASCII rendering;
+//! * [`runner`] — a multi-threaded experiment runner that evaluates a set of
+//!   algorithms over a dataset and collects a result table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod metric;
+pub mod profile;
+pub mod runner;
+
+pub use bounds::{MemoryBound, MemoryBounds};
+pub use metric::performance;
+pub use profile::PerformanceProfile;
+pub use runner::{run_experiment, ExperimentConfig, ExperimentResults, InstanceResult};

@@ -1,0 +1,51 @@
+//! The paper's performance metric (Section 6.2).
+//!
+//! Performing 10 I/Os does not have the same significance when the memory
+//! holds 10 slots or 1000 slots, so the paper normalizes the I/O volume by
+//! the memory bound: a schedule performing `k` I/Os with memory `M` scores
+//! `(M + k)/M` — 1.0 for an I/O-free execution, 2.0 when a full memory's
+//! worth of data is written.
+
+/// The paper's performance of an execution that performed `io_volume` I/Os
+/// under memory bound `memory`.
+///
+/// # Panics
+/// Panics if `memory` is zero.
+pub fn performance(memory: u64, io_volume: u64) -> f64 {
+    assert!(memory > 0, "memory bound must be positive");
+    (memory + io_volume) as f64 / memory as f64
+}
+
+/// Relative overhead of a performance value with respect to the best
+/// observed performance on the same instance (both ≥ 1): this is the x-axis
+/// of the paper's performance profiles, expressed as a fraction (0.05 = 5 %).
+pub fn overhead(performance: f64, best: f64) -> f64 {
+    debug_assert!(performance >= 1.0 && best >= 1.0);
+    debug_assert!(performance >= best - 1e-12);
+    performance / best - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_values() {
+        assert!((performance(10, 0) - 1.0).abs() < 1e-12);
+        assert!((performance(10, 10) - 2.0).abs() < 1e-12);
+        assert!((performance(1000, 10) - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_values() {
+        assert!((overhead(1.0, 1.0) - 0.0).abs() < 1e-12);
+        assert!((overhead(1.5, 1.0) - 0.5).abs() < 1e-12);
+        assert!((overhead(2.2, 2.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory bound must be positive")]
+    fn zero_memory_rejected() {
+        performance(0, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Dolan–Moré performance profiles (the plots of Figures 4, 5, 8–11).
+//!
+//! For every instance, every algorithm's performance is compared with the
+//! best performance observed on that instance; the profile of an algorithm
+//! maps an overhead threshold `τ` to the fraction of instances on which the
+//! algorithm is within `τ` of the best. Higher curves are better.
+
+use std::collections::BTreeMap;
+
+use crate::metric::overhead;
+
+/// A performance profile for a set of algorithms over a common instance set.
+#[derive(Debug, Clone)]
+pub struct PerformanceProfile {
+    algorithms: Vec<String>,
+    /// `overheads[a][i]` = overhead of algorithm `a` on instance `i`
+    /// (fraction, 0.0 = best on that instance).
+    overheads: Vec<Vec<f64>>,
+    instances: usize,
+}
+
+impl PerformanceProfile {
+    /// Builds a profile from a per-algorithm vector of performances.
+    ///
+    /// `performances[a][i]` is the performance (≥ 1.0, lower is better) of
+    /// algorithm `a` on instance `i`; all algorithms must cover the same
+    /// instances.
+    pub fn from_performances(
+        algorithms: Vec<String>,
+        performances: Vec<Vec<f64>>,
+    ) -> PerformanceProfile {
+        assert_eq!(algorithms.len(), performances.len());
+        assert!(!performances.is_empty(), "at least one algorithm required");
+        let instances = performances[0].len();
+        assert!(
+            performances.iter().all(|p| p.len() == instances),
+            "all algorithms must cover the same instances"
+        );
+        let mut overheads = vec![vec![0.0; instances]; algorithms.len()];
+        for i in 0..instances {
+            let best = performances
+                .iter()
+                .map(|p| p[i])
+                .fold(f64::INFINITY, f64::min);
+            for (a, perf) in performances.iter().enumerate() {
+                overheads[a][i] = overhead(perf[i], best);
+            }
+        }
+        PerformanceProfile {
+            algorithms,
+            overheads,
+            instances,
+        }
+    }
+
+    /// Number of instances.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// The algorithm names, in the order used by the other accessors.
+    pub fn algorithms(&self) -> &[String] {
+        &self.algorithms
+    }
+
+    /// Fraction of instances on which `algorithm` has an overhead of at most
+    /// `threshold` (a fraction, e.g. `0.05` for 5 %).
+    pub fn fraction_within(&self, algorithm: usize, threshold: f64) -> f64 {
+        if self.instances == 0 {
+            return 1.0;
+        }
+        let count = self.overheads[algorithm]
+            .iter()
+            .filter(|&&o| o <= threshold + 1e-12)
+            .count();
+        count as f64 / self.instances as f64
+    }
+
+    /// The profile curve of `algorithm` evaluated on the given thresholds.
+    pub fn curve(&self, algorithm: usize, thresholds: &[f64]) -> Vec<f64> {
+        thresholds
+            .iter()
+            .map(|&t| self.fraction_within(algorithm, t))
+            .collect()
+    }
+
+    /// The distinct overhead values observed (useful to build exact step
+    /// curves); always starts at 0.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut set = BTreeMap::new();
+        set.insert(0u64, 0.0f64);
+        for row in &self.overheads {
+            for &o in row {
+                // Quantize to 1e-9 to deduplicate float noise.
+                set.insert((o * 1e9).round() as u64, o);
+            }
+        }
+        set.into_values().collect()
+    }
+
+    /// Renders the profile as CSV: one row per threshold, one column per
+    /// algorithm (the format consumed by the plots in EXPERIMENTS.md).
+    pub fn to_csv(&self, thresholds: &[f64]) -> String {
+        let mut out = String::from("overhead_percent");
+        for a in &self.algorithms {
+            out.push(',');
+            out.push_str(a);
+        }
+        out.push('\n');
+        for &t in thresholds {
+            out.push_str(&format!("{:.2}", t * 100.0));
+            for a in 0..self.algorithms.len() {
+                out.push_str(&format!(",{:.4}", self.fraction_within(a, t)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact ASCII table of the profile at the given thresholds —
+    /// the textual stand-in for the paper's figures.
+    pub fn to_ascii(&self, thresholds: &[f64]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<18}", "overhead <="));
+        for &t in thresholds {
+            out.push_str(&format!("{:>9.1}%", t * 100.0));
+        }
+        out.push('\n');
+        for (a, name) in self.algorithms.iter().enumerate() {
+            out.push_str(&format!("{name:<18}"));
+            for &t in thresholds {
+                out.push_str(&format!("{:>10.3}", self.fraction_within(a, t)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean overhead of an algorithm over all instances (an aggregate used in
+    /// EXPERIMENTS.md alongside the profiles).
+    pub fn mean_overhead(&self, algorithm: usize) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        self.overheads[algorithm].iter().sum::<f64>() / self.instances as f64
+    }
+
+    /// Fraction of instances on which the algorithm is (one of) the best.
+    pub fn win_rate(&self, algorithm: usize) -> f64 {
+        self.fraction_within(algorithm, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerformanceProfile {
+        // 3 instances, 2 algorithms.
+        // inst:        0     1     2
+        // A:          1.0   1.2   2.0
+        // B:          1.1   1.2   1.0
+        PerformanceProfile::from_performances(
+            vec!["A".into(), "B".into()],
+            vec![vec![1.0, 1.2, 2.0], vec![1.1, 1.2, 1.0]],
+        )
+    }
+
+    #[test]
+    fn win_rates_and_fractions() {
+        let p = sample();
+        assert_eq!(p.instances(), 3);
+        // A is best on instances 0 and 1 (tie), B on 1 and 2.
+        assert!((p.win_rate(0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p.win_rate(1) - 2.0 / 3.0).abs() < 1e-9);
+        // Within 10%: A covers instances 0, 1 (overhead 0) but not 2 (100%).
+        assert!((p.fraction_within(0, 0.10) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p.fraction_within(1, 0.10) - 1.0).abs() < 1e-9);
+        // Within 100%: everything.
+        assert!((p.fraction_within(0, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let p = sample();
+        let thresholds = [0.0, 0.05, 0.1, 0.5, 1.0, 2.0];
+        for a in 0..2 {
+            let curve = p.curve(a, &thresholds);
+            for w in curve.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+            assert!((curve.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let p = sample();
+        let csv = p.to_csv(&[0.0, 0.1]);
+        assert!(csv.starts_with("overhead_percent,A,B"));
+        assert_eq!(csv.lines().count(), 3);
+        let ascii = p.to_ascii(&[0.0, 0.1]);
+        assert!(ascii.contains('A'));
+        assert!(ascii.contains("0.667"));
+    }
+
+    #[test]
+    fn breakpoints_contain_zero_and_extremes() {
+        let p = sample();
+        let bp = p.breakpoints();
+        assert!((bp[0] - 0.0).abs() < 1e-12);
+        assert!(bp.iter().any(|&b| (b - 1.0).abs() < 1e-9)); // A's 100% overhead on inst 2
+    }
+
+    #[test]
+    fn mean_overhead_values() {
+        let p = sample();
+        // A overheads: 0, 0, 1.0 → mean 1/3; B: 0.1, 0, 0 → mean 0.0333…
+        assert!((p.mean_overhead(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((p.mean_overhead(1) - 0.1 / 3.0).abs() < 1e-9);
+    }
+}

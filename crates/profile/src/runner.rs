@@ -1,0 +1,283 @@
+//! Multi-threaded experiment runner.
+//!
+//! Evaluates a set of algorithms over a dataset of instances, one memory
+//! bound at a time, and collects per-instance I/O volumes and performances.
+//! Instances are distributed over worker threads through a crossbeam channel
+//! (each instance is independent, so this is embarrassingly parallel); the
+//! per-instance work itself stays sequential, exactly like the paper's
+//! simulations.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use oocts_core::algorithms::Algorithm;
+use oocts_tree::Tree;
+
+use crate::bounds::{MemoryBound, MemoryBounds};
+use crate::metric::performance;
+use crate::profile::PerformanceProfile;
+
+/// Configuration of one experiment (one dataset × one memory bound).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+    /// Which of the paper's memory bounds to use.
+    pub bound: MemoryBound,
+    /// Number of worker threads (0 = one per available CPU).
+    pub threads: usize,
+    /// Skip instances whose optimal in-core peak equals the structural lower
+    /// bound (no I/O is ever needed on them); the paper filters the TREES
+    /// dataset this way.
+    pub filter_interesting: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's SYNTH configuration (four algorithms) at the given bound.
+    pub fn synth(bound: MemoryBound) -> Self {
+        ExperimentConfig {
+            algorithms: Algorithm::SYNTH_SET.to_vec(),
+            bound,
+            threads: 0,
+            filter_interesting: false,
+        }
+    }
+
+    /// The paper's TREES configuration (three algorithms, filtered) at the
+    /// given bound.
+    pub fn trees(bound: MemoryBound) -> Self {
+        ExperimentConfig {
+            algorithms: Algorithm::TREES_SET.to_vec(),
+            bound,
+            threads: 0,
+            filter_interesting: true,
+        }
+    }
+}
+
+/// Results of one algorithm set on one instance.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Instance name.
+    pub name: String,
+    /// Number of tasks of the instance.
+    pub nodes: usize,
+    /// The instance's memory bounds.
+    pub bounds: MemoryBounds,
+    /// The concrete memory value used.
+    pub memory: u64,
+    /// I/O volume of every algorithm, in the order of the configuration.
+    pub io_volumes: Vec<u64>,
+    /// Performance `(M + IO)/M` of every algorithm.
+    pub performances: Vec<f64>,
+}
+
+impl InstanceResult {
+    /// `true` if at least two algorithms obtained different I/O volumes — the
+    /// restriction used in the right-hand plot of Figure 5.
+    pub fn algorithms_differ(&self) -> bool {
+        self.io_volumes.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// The collected results of an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// The algorithms compared (column order of the per-instance vectors).
+    pub algorithms: Vec<Algorithm>,
+    /// The memory bound used.
+    pub bound: MemoryBound,
+    /// One entry per (kept) instance.
+    pub results: Vec<InstanceResult>,
+}
+
+impl ExperimentResults {
+    /// Builds the Dolan–Moré performance profile of these results.
+    pub fn profile(&self) -> PerformanceProfile {
+        let names = self.algorithms.iter().map(|a| a.name().to_string()).collect();
+        let mut perfs = vec![Vec::with_capacity(self.results.len()); self.algorithms.len()];
+        for r in &self.results {
+            for (a, &p) in r.performances.iter().enumerate() {
+                perfs[a].push(p);
+            }
+        }
+        PerformanceProfile::from_performances(names, perfs)
+    }
+
+    /// The subset of instances on which the algorithms do not all obtain the
+    /// same I/O volume (right-hand plots of Figures 5, 9, 11).
+    pub fn restricted_to_differing(&self) -> ExperimentResults {
+        ExperimentResults {
+            algorithms: self.algorithms.clone(),
+            bound: self.bound,
+            results: self
+                .results
+                .iter()
+                .filter(|r| r.algorithms_differ())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Per-instance CSV (one row per instance, one I/O column per algorithm).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("instance,nodes,lb,peak,memory");
+        for a in &self.algorithms {
+            out.push_str(&format!(",io_{}", a.name()));
+        }
+        out.push('\n');
+        for r in &self.results {
+            out.push_str(&format!(
+                "{},{},{},{},{}",
+                r.name, r.nodes, r.bounds.lower_bound, r.bounds.peak_incore, r.memory
+            ));
+            for io in &r.io_volumes {
+                out.push_str(&format!(",{io}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs every algorithm of the configuration on every instance and collects
+/// the results. Instance order is preserved.
+pub fn run_experiment(instances: &[(String, Tree)], config: &ExperimentConfig) -> ExperimentResults {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; instances.len()]);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..instances.len() {
+        tx.send(i).expect("channel open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let rx = rx.clone();
+            let results = &results;
+            let config = &config;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let (name, tree) = &instances[i];
+                    if let Some(r) = evaluate_instance(name, tree, config) {
+                        results.lock()[i] = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    ExperimentResults {
+        algorithms: config.algorithms.clone(),
+        bound: config.bound,
+        results: results.into_inner().into_iter().flatten().collect(),
+    }
+}
+
+fn evaluate_instance(name: &str, tree: &Tree, config: &ExperimentConfig) -> Option<InstanceResult> {
+    let bounds = MemoryBounds::of(tree);
+    if config.filter_interesting && !bounds.is_interesting() {
+        return None;
+    }
+    let memory = bounds.memory(config.bound);
+    let mut io_volumes = Vec::with_capacity(config.algorithms.len());
+    let mut performances = Vec::with_capacity(config.algorithms.len());
+    for algo in &config.algorithms {
+        let res = algo
+            .run(tree, memory)
+            .expect("memory bound is feasible by construction");
+        io_volumes.push(res.io_volume);
+        performances.push(performance(memory, res.io_volume));
+    }
+    Some(InstanceResult {
+        name: name.to_string(),
+        nodes: tree.len(),
+        bounds,
+        memory,
+        io_volumes,
+        performances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oocts_tree::TreeBuilder;
+
+    fn instance(seed: u64) -> (String, Tree) {
+        // Small deterministic trees with varying weights.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1 + seed % 3);
+        let a = b.add_child(r, 2 + seed % 5);
+        b.add_child(a, 6 + seed % 4);
+        let c = b.add_child(r, 2);
+        b.add_child(c, 5 + seed % 7);
+        (format!("inst-{seed}"), b.build().unwrap())
+    }
+
+    #[test]
+    fn runner_covers_all_instances_in_order() {
+        let instances: Vec<_> = (0..16).map(instance).collect();
+        let config = ExperimentConfig {
+            algorithms: Algorithm::TREES_SET.to_vec(),
+            bound: MemoryBound::Middle,
+            threads: 4,
+            filter_interesting: false,
+        };
+        let res = run_experiment(&instances, &config);
+        assert_eq!(res.results.len(), 16);
+        for (i, r) in res.results.iter().enumerate() {
+            assert_eq!(r.name, format!("inst-{i}"));
+            assert_eq!(r.io_volumes.len(), 3);
+        }
+        // Deterministic across runs (and thread counts).
+        let res1 = run_experiment(&instances, &ExperimentConfig { threads: 1, ..config.clone() });
+        for (a, b) in res.results.iter().zip(&res1.results) {
+            assert_eq!(a.io_volumes, b.io_volumes);
+        }
+    }
+
+    #[test]
+    fn filtering_drops_uninteresting_instances() {
+        // A chain has peak == LB: always filtered.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(3);
+        let x = b.add_child(r, 4);
+        b.add_child(x, 5);
+        let chain = ("chain".to_string(), b.build().unwrap());
+        let interesting = instance(1);
+        let config = ExperimentConfig {
+            algorithms: vec![Algorithm::PostOrderMinIo],
+            bound: MemoryBound::Middle,
+            threads: 1,
+            filter_interesting: true,
+        };
+        let res = run_experiment(&[chain, interesting], &config);
+        assert_eq!(res.results.len(), 1);
+        assert_eq!(res.results[0].name, "inst-1");
+    }
+
+    #[test]
+    fn profile_and_csv_are_consistent() {
+        let instances: Vec<_> = (0..8).map(instance).collect();
+        let config = ExperimentConfig::synth(MemoryBound::Middle);
+        let res = run_experiment(&instances, &config);
+        let profile = res.profile();
+        assert_eq!(profile.instances(), res.results.len());
+        assert_eq!(profile.algorithms().len(), 4);
+        let csv = res.to_csv();
+        assert_eq!(csv.lines().count(), res.results.len() + 1);
+        // The restriction keeps only instances where algorithms differ.
+        let diff = res.restricted_to_differing();
+        for r in &diff.results {
+            assert!(r.algorithms_differ());
+        }
+    }
+}

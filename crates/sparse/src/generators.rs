@@ -1,0 +1,143 @@
+//! Generators of synthetic symmetric sparsity patterns.
+//!
+//! These are the standard model problems of sparse direct solvers: regular
+//! grid Laplacians (whose elimination trees have the deep, progressively
+//! heavier structure typical of multifrontal workloads) and random sparse
+//! symmetric matrices (irregular, bushier trees).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::pattern::SymmetricPattern;
+
+/// 5-point (or 9-point) finite-difference Laplacian on an `nx × ny` grid.
+///
+/// With `nine_point = false` each interior vertex is connected to its 4 grid
+/// neighbours; with `nine_point = true`, to its 8 neighbours.
+pub fn grid_laplacian_2d(nx: usize, ny: usize, nine_point: bool) -> SymmetricPattern {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut p = SymmetricPattern::new(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                p.add_edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < ny {
+                p.add_edge(idx(x, y), idx(x, y + 1));
+            }
+            if nine_point {
+                if x + 1 < nx && y + 1 < ny {
+                    p.add_edge(idx(x, y), idx(x + 1, y + 1));
+                }
+                if x > 0 && y + 1 < ny {
+                    p.add_edge(idx(x, y), idx(x - 1, y + 1));
+                }
+            }
+        }
+    }
+    p.sort_dedup();
+    p
+}
+
+/// 7-point finite-difference Laplacian on an `nx × ny × nz` grid.
+pub fn grid_laplacian_3d(nx: usize, ny: usize, nz: usize) -> SymmetricPattern {
+    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut p = SymmetricPattern::new(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    p.add_edge(idx(x, y, z), idx(x + 1, y, z));
+                }
+                if y + 1 < ny {
+                    p.add_edge(idx(x, y, z), idx(x, y + 1, z));
+                }
+                if z + 1 < nz {
+                    p.add_edge(idx(x, y, z), idx(x, y, z + 1));
+                }
+            }
+        }
+    }
+    p.sort_dedup();
+    p
+}
+
+/// Random sparse symmetric pattern of order `n` with approximately
+/// `avg_degree` off-diagonal nonzeros per row, made connected by a random
+/// spanning path.
+///
+/// This mimics the irregular problems (circuit, optimization, graph matrices)
+/// of the University of Florida collection.
+pub fn random_symmetric(n: usize, avg_degree: f64, seed: u64) -> SymmetricPattern {
+    assert!(n > 0, "matrix order must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = SymmetricPattern::new(n);
+    // Random spanning path for connectivity.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    for w in order.windows(2) {
+        p.add_edge(w[0], w[1]);
+    }
+    // Extra random edges to reach the requested density.
+    let target_extra = ((avg_degree * n as f64 / 2.0) as usize).saturating_sub(n - 1);
+    for _ in 0..target_extra {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j {
+            p.add_edge(i, j);
+        }
+    }
+    p.sort_dedup();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_2d_has_expected_edges() {
+        let p = grid_laplacian_2d(3, 2, false);
+        assert_eq!(p.order(), 6);
+        // 2D grid: horizontal edges (nx−1)·ny + vertical nx·(ny−1) = 4 + 3 = 7.
+        assert_eq!(p.nnz_off_diagonal(), 2 * 7);
+        assert!(p.is_connected());
+        // Corner vertex 0 has neighbours 1 and 3.
+        assert_eq!(p.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn grid_2d_nine_point_adds_diagonals() {
+        let p5 = grid_laplacian_2d(4, 4, false);
+        let p9 = grid_laplacian_2d(4, 4, true);
+        assert!(p9.nnz_off_diagonal() > p5.nnz_off_diagonal());
+        assert!(p9.is_connected());
+    }
+
+    #[test]
+    fn grid_3d_has_expected_edges() {
+        let p = grid_laplacian_3d(2, 2, 2);
+        assert_eq!(p.order(), 8);
+        // 2×2×2 grid: 4 edges per direction × 3 directions = 12.
+        assert_eq!(p.nnz_off_diagonal(), 2 * 12);
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn random_symmetric_is_connected_and_reproducible() {
+        let a = random_symmetric(50, 4.0, 7);
+        let b = random_symmetric(50, 4.0, 7);
+        assert_eq!(a, b, "same seed must give the same pattern");
+        assert!(a.is_connected());
+        let c = random_symmetric(50, 4.0, 8);
+        assert_ne!(a, c, "different seeds should differ");
+        // Density is in the right ballpark.
+        let avg = a.nnz_off_diagonal() as f64 / 50.0;
+        assert!(avg >= 2.0 && avg <= 10.0, "unexpected density {avg}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Symmetric sparsity patterns.
+//!
+//! A pattern is the adjacency structure of the undirected graph of a
+//! structurally symmetric matrix: for the purposes of symbolic factorization
+//! only the positions of the nonzeros matter, not their values.
+
+/// The sparsity pattern of a symmetric matrix of order `n`.
+///
+/// Only the strictly-lower/upper adjacency is stored, as sorted neighbour
+/// lists; the diagonal is implicitly assumed nonzero (as is standard for
+/// factorization of SPD-like matrices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetricPattern {
+    n: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SymmetricPattern {
+    /// Creates an empty pattern (diagonal only) of order `n`.
+    pub fn new(n: usize) -> Self {
+        SymmetricPattern {
+            n,
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a pattern from a list of off-diagonal entries `(i, j)`.
+    /// Symmetric counterparts and duplicates are handled automatically;
+    /// diagonal entries are ignored.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut p = SymmetricPattern::new(n);
+        for (i, j) in edges {
+            p.add_edge(i, j);
+        }
+        p.sort_dedup();
+        p
+    }
+
+    /// Adds the off-diagonal entry `(i, j)` (and its symmetric counterpart).
+    /// Diagonal entries are ignored. Call [`Self::sort_dedup`] once after a
+    /// batch of insertions.
+    pub fn add_edge(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return;
+        }
+        self.adjacency[i].push(j);
+        self.adjacency[j].push(i);
+    }
+
+    /// Sorts the neighbour lists and removes duplicate entries.
+    pub fn sort_dedup(&mut self) {
+        for list in &mut self.adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+
+    /// The order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of off-diagonal nonzeros (counting both triangles).
+    pub fn nnz_off_diagonal(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Neighbours of `i` (row/column pattern without the diagonal), sorted.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Degree of vertex `i` (number of off-diagonal nonzeros in its row).
+    pub fn degree(&self, i: usize) -> usize {
+        self.adjacency[i].len()
+    }
+
+    /// Applies a permutation: vertex `i` of the new pattern is vertex
+    /// `perm[i]` of the old one (`perm` is the new-to-old ordering, as
+    /// returned by the ordering heuristics).
+    pub fn permute(&self, perm: &[usize]) -> SymmetricPattern {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        let mut inverse = vec![usize::MAX; self.n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(
+                inverse[old] == usize::MAX,
+                "permutation contains a duplicate"
+            );
+            inverse[old] = new;
+        }
+        let mut out = SymmetricPattern::new(self.n);
+        for (new, &old) in perm.iter().enumerate() {
+            for &nb in self.neighbors(old) {
+                let nb_new = inverse[nb];
+                if nb_new > new {
+                    out.adjacency[new].push(nb_new);
+                    out.adjacency[nb_new].push(new);
+                }
+            }
+        }
+        out.sort_dedup();
+        out
+    }
+
+    /// `true` if the underlying graph is connected (useful for sanity checks:
+    /// disconnected matrices give forests rather than trees).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &nb in self.neighbors(v) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    count += 1;
+                    stack.push(nb);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetrizes_and_dedups() {
+        let p = SymmetricPattern::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 2), (3, 1)]);
+        assert_eq!(p.order(), 4);
+        assert_eq!(p.neighbors(1), &[0, 2, 3]);
+        assert_eq!(p.neighbors(2), &[1]);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.nnz_off_diagonal(), 6);
+    }
+
+    #[test]
+    fn permutation_relabels_edges() {
+        let p = SymmetricPattern::from_edges(3, [(0, 1), (1, 2)]);
+        // New order: [2, 1, 0] — new vertex 0 is old 2.
+        let q = p.permute(&[2, 1, 0]);
+        assert_eq!(q.neighbors(0), &[1]);
+        assert_eq!(q.neighbors(1), &[0, 2]);
+        assert_eq!(q.neighbors(2), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn invalid_permutation_is_rejected() {
+        let p = SymmetricPattern::from_edges(3, [(0, 1)]);
+        p.permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let connected = SymmetricPattern::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(connected.is_connected());
+        let disconnected = SymmetricPattern::from_edges(3, [(0, 1)]);
+        assert!(!disconnected.is_connected());
+    }
+}

@@ -1,0 +1,80 @@
+//! Graphviz (DOT) export of task trees, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::schedule::Schedule;
+use crate::tree::Tree;
+
+/// Renders the tree in Graphviz DOT format. Node labels show `id / weight`.
+pub fn to_dot(tree: &Tree) -> String {
+    to_dot_impl(tree, None, None)
+}
+
+/// Renders the tree in DOT format with the execution step of each node (from
+/// `schedule`) and its I/O amount (from `tau`, if provided) in the label —
+/// mirrors the annotated figures of the paper.
+pub fn to_dot_annotated(tree: &Tree, schedule: &Schedule, tau: Option<&[u64]>) -> String {
+    to_dot_impl(tree, Some(schedule), tau)
+}
+
+fn to_dot_impl(tree: &Tree, schedule: Option<&Schedule>, tau: Option<&[u64]>) -> String {
+    let positions = schedule.map(|s| s.positions(tree));
+    let mut out = String::new();
+    out.push_str("digraph tasktree {\n");
+    out.push_str("  rankdir = BT;\n");
+    out.push_str("  node [shape = circle];\n");
+    for node in tree.node_ids() {
+        let mut label = format!("{}\\nw={}", node.index(), tree.weight(node));
+        if let Some(pos) = &positions {
+            if pos[node.index()] != usize::MAX {
+                let _ = write!(label, "\\nstep {}", pos[node.index()]);
+            }
+        }
+        if let Some(tau) = tau {
+            if tau[node.index()] > 0 {
+                let _ = write!(label, "\\nio {}", tau[node.index()]);
+            }
+        }
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", node.index(), label);
+    }
+    for node in tree.node_ids() {
+        if let Some(p) = tree.parent(node) {
+            let _ = writeln!(out, "  n{} -> n{};", node.index(), p.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edges() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(5);
+        let a = b.add_child(r, 3);
+        b.add_child(a, 4);
+        let t = b.build().unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 [label=\"0\\nw=5\"]"));
+        assert!(dot.contains("n1 -> n0;"));
+        assert!(dot.contains("n2 -> n1;"));
+    }
+
+    #[test]
+    fn annotated_dot_shows_steps_and_io() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(5);
+        b.add_child(r, 3);
+        let t = b.build().unwrap();
+        let s = Schedule::postorder(&t);
+        let tau = vec![0, 2];
+        let dot = to_dot_annotated(&t, &s, Some(&tau));
+        assert!(dot.contains("step 0"));
+        assert!(dot.contains("io 2"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types shared by the tree substrate.
+
+use std::fmt;
+
+use crate::tree::NodeId;
+
+/// Errors produced while building, validating or simulating task trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The tree has no nodes.
+    Empty,
+    /// A node references a parent that does not exist.
+    UnknownNode(NodeId),
+    /// More than one node has no parent.
+    MultipleRoots(NodeId, NodeId),
+    /// No node without a parent was found (the parent relation has a cycle).
+    NoRoot,
+    /// The parent relation contains a cycle involving this node.
+    Cycle(NodeId),
+    /// A schedule is not a topological order of the nodes it contains.
+    NotTopological(NodeId),
+    /// A schedule contains a node whose child is missing from the schedule.
+    MissingChild {
+        /// The scheduled node.
+        node: NodeId,
+        /// The child that is not part of the schedule.
+        child: NodeId,
+    },
+    /// A schedule contains the same node twice.
+    DuplicateNode(NodeId),
+    /// The memory bound is too small to execute this task at all
+    /// (`M < w̄_i`); no amount of I/O can make the traversal feasible.
+    InsufficientMemory {
+        /// The offending node.
+        node: NodeId,
+        /// Memory required to execute the node (`w̄_i`).
+        required: u64,
+        /// Available memory `M`.
+        available: u64,
+    },
+    /// An I/O function assigns a node more I/O than the size of its output.
+    IoExceedsWeight {
+        /// The offending node.
+        node: NodeId,
+        /// Requested I/O volume `τ(i)`.
+        io: u64,
+        /// Output size `w_i`.
+        weight: u64,
+    },
+    /// A traversal `(σ, τ)` exceeds the memory bound at some step.
+    MemoryExceeded {
+        /// The node being executed when the bound was exceeded.
+        node: NodeId,
+        /// Memory in use at that step.
+        used: u64,
+        /// Available memory `M`.
+        available: u64,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            TreeError::MultipleRoots(a, b) => {
+                write!(f, "multiple roots: {a:?} and {b:?}")
+            }
+            TreeError::NoRoot => write!(f, "no root found (cyclic parent relation)"),
+            TreeError::Cycle(n) => write!(f, "cycle in parent relation at {n:?}"),
+            TreeError::NotTopological(n) => {
+                write!(f, "schedule is not topological at node {n:?}")
+            }
+            TreeError::MissingChild { node, child } => {
+                write!(f, "schedule contains {node:?} but not its child {child:?}")
+            }
+            TreeError::DuplicateNode(n) => write!(f, "schedule contains {n:?} twice"),
+            TreeError::InsufficientMemory {
+                node,
+                required,
+                available,
+            } => write!(
+                f,
+                "node {node:?} needs {required} memory units but only {available} are available"
+            ),
+            TreeError::IoExceedsWeight { node, io, weight } => write!(
+                f,
+                "I/O function writes {io} units of node {node:?} whose output is only {weight}"
+            ),
+            TreeError::MemoryExceeded {
+                node,
+                used,
+                available,
+            } => write!(
+                f,
+                "traversal uses {used} memory units at node {node:?} but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -1,0 +1,522 @@
+//! Rooted in-trees of tasks with weighted output data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TreeError;
+
+/// Identifier of a node (task) inside a [`Tree`].
+///
+/// Node identifiers are dense indices (`0..tree.len()`); they are stable under
+/// the structural mutations used by the node-expansion machinery (expansion
+/// only *adds* nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId::from_index(value)
+    }
+}
+
+/// A rooted in-tree of tasks.
+///
+/// Every node `i` produces one output datum of `weight(i)` memory units that
+/// is consumed by its unique parent. Dependencies are directed towards the
+/// root: a node can only execute after all of its children.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tree {
+    weights: Vec<u64>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Builds a tree from a parent array.
+    ///
+    /// `parents[i]` is the parent of node `i` (or `None` for the root);
+    /// `weights[i]` is the size of node `i`'s output datum. Exactly one node
+    /// must have no parent.
+    pub fn from_parents(weights: &[u64], parents: &[Option<usize>]) -> Result<Self, TreeError> {
+        if weights.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        assert_eq!(
+            weights.len(),
+            parents.len(),
+            "weights and parents must have the same length"
+        );
+        let n = weights.len();
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut root = None;
+        for (i, &p) in parents.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    if p >= n {
+                        return Err(TreeError::UnknownNode(NodeId::from_index(p)));
+                    }
+                    parent[i] = Some(NodeId::from_index(p));
+                    children[p].push(NodeId::from_index(i));
+                }
+                None => match root {
+                    None => root = Some(NodeId::from_index(i)),
+                    Some(r) => return Err(TreeError::MultipleRoots(r, NodeId::from_index(i))),
+                },
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+        let tree = Tree {
+            weights: weights.to_vec(),
+            parent,
+            children,
+            root,
+        };
+        tree.check_acyclic()?;
+        Ok(tree)
+    }
+
+    /// Builds a single-node tree (just a root of the given weight).
+    pub fn singleton(weight: u64) -> Self {
+        Tree {
+            weights: vec![weight],
+            parent: vec![None],
+            children: vec![Vec::new()],
+            root: NodeId(0),
+        }
+    }
+
+    fn check_acyclic(&self) -> Result<(), TreeError> {
+        // Every node must reach the root by following parent pointers in at
+        // most `n` steps.
+        let n = self.len();
+        for start in 0..n {
+            let mut cur = NodeId::from_index(start);
+            let mut steps = 0usize;
+            while let Some(p) = self.parent[cur.index()] {
+                cur = p;
+                steps += 1;
+                if steps > n {
+                    return Err(TreeError::Cycle(NodeId::from_index(start)));
+                }
+            }
+            if cur != self.root {
+                return Err(TreeError::Cycle(NodeId::from_index(start)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the tree has no nodes (never the case for a built tree).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The size `w_i` of node `i`'s output datum.
+    #[inline]
+    pub fn weight(&self, node: NodeId) -> u64 {
+        self.weights[node.index()]
+    }
+
+    /// Mutable access to a node weight (used by generators and tests).
+    pub fn set_weight(&mut self, node: NodeId, weight: u64) {
+        self.weights[node.index()] = weight;
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// The children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// `true` if `node` has no children.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children[node.index()].is_empty()
+    }
+
+    /// Iterator over all node ids, in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::from_index)
+    }
+
+    /// All leaves of the tree.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.is_leaf(n)).collect()
+    }
+
+    /// Sum of the children output sizes of `node`.
+    pub fn children_weight(&self, node: NodeId) -> u64 {
+        self.children(node).iter().map(|&c| self.weight(c)).sum()
+    }
+
+    /// Memory needed to execute `node` in isolation:
+    /// `w̄_i = max(w_i, Σ_{j child of i} w_j)` (paper, Section 3.1).
+    pub fn execution_weight(&self, node: NodeId) -> u64 {
+        self.weight(node).max(self.children_weight(node))
+    }
+
+    /// The minimum memory bound for which the tree can be executed at all
+    /// (with unlimited I/O): `LB = max_i w̄_i` (paper, Section 6.1).
+    pub fn min_feasible_memory(&self) -> u64 {
+        self.node_ids()
+            .map(|n| self.execution_weight(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all node weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Maximum node weight.
+    pub fn max_weight(&self) -> u64 {
+        self.weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (including `node`).
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        self.subtree_nodes(node).len()
+    }
+
+    /// The nodes of the subtree rooted at `node`, in an (iterative) postorder:
+    /// every node appears after all of its children.
+    pub fn subtree_postorder(&self, node: NodeId) -> Vec<NodeId> {
+        // Iterative postorder to cope with very deep trees (elimination trees
+        // of banded matrices are close to chains).
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
+        while let Some((n, child_idx)) = stack.pop() {
+            if child_idx < self.children(n).len() {
+                stack.push((n, child_idx + 1));
+                stack.push((self.children(n)[child_idx], 0));
+            } else {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// The nodes of the subtree rooted at `node`, in DFS preorder.
+    pub fn subtree_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// Postorder over the whole tree (children before parents).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        self.subtree_postorder(self.root)
+    }
+
+    /// Depth of `node` (the root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Height of the tree: the maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        // Compute iteratively from the postorder to stay O(n).
+        let mut h = vec![0usize; self.len()];
+        let mut best = 0usize;
+        for n in self.postorder() {
+            let hn = self
+                .children(n)
+                .iter()
+                .map(|&c| h[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            h[n.index()] = hn;
+            best = best.max(hn);
+        }
+        best
+    }
+
+    /// `true` iff all nodes have output size exactly 1 (a *homogeneous* tree
+    /// in the sense of Section 4.2 of the paper).
+    pub fn is_homogeneous(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1)
+    }
+
+    /// Adds a new node above `node`: the new node takes `node`'s place as a
+    /// child of `node`'s parent (or becomes the root), and `node` becomes its
+    /// only child. Returns the new node's id.
+    ///
+    /// This is the structural primitive behind node expansion
+    /// (see [`crate::expand`]).
+    pub fn splice_above(&mut self, node: NodeId, weight: u64) -> NodeId {
+        let new = NodeId::from_index(self.len());
+        let old_parent = self.parent[node.index()];
+        self.weights.push(weight);
+        self.parent.push(old_parent);
+        self.children.push(vec![node]);
+        self.parent[node.index()] = Some(new);
+        match old_parent {
+            Some(p) => {
+                let slot = self.children[p.index()]
+                    .iter()
+                    .position(|&c| c == node)
+                    .expect("parent/child links out of sync");
+                self.children[p.index()][slot] = new;
+            }
+            None => self.root = new,
+        }
+        new
+    }
+
+    /// Validates the internal consistency of the tree (used in tests and by
+    /// deserialization call sites).
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        for n in self.node_ids() {
+            if let Some(p) = self.parent(n) {
+                if p.index() >= self.len() {
+                    return Err(TreeError::UnknownNode(p));
+                }
+                if !self.children(p).contains(&n) {
+                    return Err(TreeError::UnknownNode(n));
+                }
+            }
+            for &c in self.children(n) {
+                if self.parent(c) != Some(n) {
+                    return Err(TreeError::UnknownNode(c));
+                }
+            }
+        }
+        if self.parent(self.root).is_some() {
+            return Err(TreeError::NoRoot);
+        }
+        self.check_acyclic()
+    }
+}
+
+/// Incremental builder for [`Tree`] values.
+///
+/// ```
+/// use oocts_tree::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root(4);
+/// let left = b.add_child(root, 2);
+/// let _leaf = b.add_child(left, 7);
+/// let _right = b.add_child(root, 3);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.weight(root), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TreeBuilder {
+    weights: Vec<u64>,
+    parents: Vec<Option<usize>>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        TreeBuilder {
+            weights: Vec::with_capacity(n),
+            parents: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds the root node. Must be called exactly once.
+    pub fn add_root(&mut self, weight: u64) -> NodeId {
+        self.push(weight, None)
+    }
+
+    /// Adds a child of `parent` with the given output size.
+    pub fn add_child(&mut self, parent: NodeId, weight: u64) -> NodeId {
+        self.push(weight, Some(parent.index()))
+    }
+
+    fn push(&mut self, weight: u64, parent: Option<usize>) -> NodeId {
+        let id = NodeId::from_index(self.weights.len());
+        self.weights.push(weight);
+        self.parents.push(parent);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if no node has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Finalizes the tree.
+    pub fn build(self) -> Result<Tree, TreeError> {
+        Tree::from_parents(&self.weights, &self.parents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        // root(5) with children a(3) and b(2); a has leaf c(4).
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(5);
+        let a = b.add_child(r, 3);
+        b.add_child(a, 4);
+        b.add_child(r, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.weight(NodeId(0)), 5);
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert!(t.is_leaf(NodeId(2)));
+        assert!(!t.is_leaf(NodeId(0)));
+        assert_eq!(t.leaves(), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(t.total_weight(), 14);
+        assert_eq!(t.max_weight(), 5);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.depth(NodeId(2)), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn execution_weights() {
+        let t = sample();
+        // root: max(5, 3 + 2) = 5 ; a: max(3, 4) = 4 ; leaf c: 4 ; leaf b: 2.
+        assert_eq!(t.execution_weight(NodeId(0)), 5);
+        assert_eq!(t.execution_weight(NodeId(1)), 4);
+        assert_eq!(t.execution_weight(NodeId(2)), 4);
+        assert_eq!(t.execution_weight(NodeId(3)), 2);
+        assert_eq!(t.min_feasible_memory(), 5);
+    }
+
+    #[test]
+    fn postorder_is_topological() {
+        let t = sample();
+        let po = t.postorder();
+        assert_eq!(po.len(), t.len());
+        let pos: std::collections::HashMap<_, _> =
+            po.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in t.node_ids() {
+            if let Some(p) = t.parent(n) {
+                assert!(pos[&n] < pos[&p]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_parents_detects_errors() {
+        assert_eq!(Tree::from_parents(&[], &[]), Err(TreeError::Empty));
+        assert!(matches!(
+            Tree::from_parents(&[1, 1], &[None, None]),
+            Err(TreeError::MultipleRoots(_, _))
+        ));
+        assert!(matches!(
+            Tree::from_parents(&[1, 1], &[Some(1), Some(0)]),
+            Err(TreeError::NoRoot) | Err(TreeError::Cycle(_))
+        ));
+        assert!(matches!(
+            Tree::from_parents(&[1], &[Some(5)]),
+            Err(TreeError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn splice_above_keeps_structure() {
+        let mut t = sample();
+        let a = NodeId(1);
+        let new = t.splice_above(a, 99);
+        t.validate().unwrap();
+        assert_eq!(t.weight(new), 99);
+        assert_eq!(t.parent(a), Some(new));
+        assert_eq!(t.parent(new), Some(NodeId(0)));
+        assert!(t.children(NodeId(0)).contains(&new));
+        assert!(!t.children(NodeId(0)).contains(&a));
+    }
+
+    #[test]
+    fn splice_above_root_changes_root() {
+        let mut t = sample();
+        let old_root = t.root();
+        let new = t.splice_above(old_root, 1);
+        t.validate().unwrap();
+        assert_eq!(t.root(), new);
+        assert_eq!(t.parent(old_root), Some(new));
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let t = sample();
+        assert!(!t.is_homogeneous());
+        let h = Tree::from_parents(&[1, 1, 1], &[None, Some(0), Some(0)]).unwrap();
+        assert!(h.is_homogeneous());
+    }
+
+    #[test]
+    fn subtree_queries() {
+        let t = sample();
+        assert_eq!(t.subtree_size(NodeId(1)), 2);
+        assert_eq!(t.subtree_size(t.root()), 4);
+        let po = t.subtree_postorder(NodeId(1));
+        assert_eq!(po, vec![NodeId(2), NodeId(1)]);
+    }
+}

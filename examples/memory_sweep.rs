@@ -1,0 +1,54 @@
+//! Memory sweep: how the I/O volume of each strategy degrades as the memory
+//! bound shrinks from the in-core peak down to the structural lower bound, on
+//! one random binary tree of the SYNTH family.
+//!
+//! Run with: `cargo run --release --example memory_sweep [nodes] [seed]`
+
+use oocts::prelude::*;
+use oocts_gen::random_binary_tree;
+use oocts_profile::bounds::MemoryBounds;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let tree = random_binary_tree(nodes, 1..=100, seed);
+    let bounds = MemoryBounds::of(&tree);
+    println!(
+        "random binary tree: {} nodes, LB = {}, Peak_incore = {}",
+        tree.len(),
+        bounds.lower_bound,
+        bounds.peak_incore
+    );
+
+    let algorithms = [
+        Algorithm::PostOrderMinIo,
+        Algorithm::OptMinMem,
+        Algorithm::RecExpand,
+    ];
+    print!("{:>10} ", "M");
+    for a in algorithms {
+        print!("{:>16}", a.name());
+    }
+    println!();
+
+    // Ten evenly spaced memory bounds across the interesting range.
+    let lb = bounds.lower_bound;
+    let peak = bounds.peak_incore;
+    for step in 0..=10u64 {
+        let memory = lb + (peak - lb) * step / 10;
+        print!("{memory:>10} ");
+        for algo in algorithms {
+            let res = algo.run(&tree, memory).expect("feasible");
+            print!("{:>16}", res.io_volume);
+        }
+        println!();
+    }
+    println!("\n(I/O volumes in memory units; 0 on the last line: M = Peak_incore.)");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a small task tree, inspect its memory bounds, and
+//! compare every scheduling strategy of the paper on it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use oocts::prelude::*;
+use oocts_core::brute_force_min_io;
+use oocts_profile::bounds::{MemoryBound, MemoryBounds};
+use oocts_tree::dot::to_dot_annotated;
+
+fn main() {
+    // The Figure 6 tree of the paper: two chains below a common root.
+    // Weights are the sizes of the data each task passes to its parent.
+    let mut b = TreeBuilder::new();
+    let root = b.add_root(1);
+    let l1 = b.add_child(root, 4);
+    let l2 = b.add_child(l1, 8);
+    let l3 = b.add_child(l2, 2);
+    b.add_child(l3, 9);
+    let r1 = b.add_child(root, 6);
+    let r2 = b.add_child(r1, 4);
+    b.add_child(r2, 10);
+    let tree = b.build().expect("valid tree");
+
+    // Memory bounds: LB is the minimum memory to run any single task,
+    // Peak_incore the memory needed to avoid I/O entirely.
+    let bounds = MemoryBounds::of(&tree);
+    println!(
+        "tree with {} tasks, total data {} units",
+        tree.len(),
+        tree.total_weight()
+    );
+    println!(
+        "LB = {}, Peak_incore = {}",
+        bounds.lower_bound, bounds.peak_incore
+    );
+
+    // Execute out-of-core with the paper's memory bound M = 10.
+    let memory = bounds.memory(MemoryBound::Middle).max(10);
+    println!("\nout-of-core execution with M = {memory}:");
+    let (_, optimal) = brute_force_min_io(&tree, memory).expect("feasible");
+    println!("  optimal I/O volume (brute force): {optimal}");
+    for algo in Algorithm::ALL {
+        let result = algo.run(&tree, memory).expect("feasible memory bound");
+        println!(
+            "  {:<18} {:>3} I/Os   performance {:.3}",
+            algo.name(),
+            result.io_volume,
+            result.performance
+        );
+    }
+
+    // Export the best schedule as an annotated DOT graph.
+    let best = Algorithm::FullRecExpand.run(&tree, memory).unwrap();
+    let io = fif_io(&tree, &best.schedule, memory).unwrap();
+    let dot = to_dot_annotated(&tree, &best.schedule, Some(&io.tau));
+    println!("\nGraphviz rendering of the FullRecExpand traversal:\n{dot}");
+}

@@ -1,0 +1,66 @@
+//! # OOCTS — Out-Of-core Task-Tree Scheduling
+//!
+//! Umbrella crate re-exporting the whole OOCTS workspace, a reproduction of
+//! *Minimizing I/Os in Out-of-Core Task Tree Scheduling*
+//! (L. Marchal, S. McCauley, B. Simon, F. Vivien — INRIA RR-9025 / IPPS 2017).
+//!
+//! The workspace implements:
+//!
+//! * the task-tree model, schedules, and the Furthest-in-the-Future (FiF)
+//!   out-of-core simulator ([`tree`]);
+//! * peak-memory minimizing traversals — Liu's optimal algorithm and the best
+//!   postorder ([`minmem`]);
+//! * the paper's I/O-minimizing algorithms — `PostOrderMinIO`,
+//!   `OptMinMem`+FiF, `RecExpand` and `FullRecExpand` — plus the homogeneous
+//!   tree theory and brute-force oracles ([`core`]);
+//! * a sparse-matrix multifrontal substrate producing realistic elimination /
+//!   assembly trees ([`sparse`]);
+//! * tree generators and the paper's datasets ([`gen`]);
+//! * the evaluation harness: performance metric, Dolan–Moré performance
+//!   profiles and a parallel experiment runner ([`profile`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oocts::prelude::*;
+//!
+//! // Build a small task tree: the root consumes two subtrees.
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root(4);
+//! let a = b.add_child(root, 8);
+//! b.add_child(a, 2);
+//! b.add_child(root, 10);
+//! let tree = b.build().unwrap();
+//!
+//! // How much memory would an in-core execution need?
+//! let (schedule, peak) = opt_min_mem(&tree);
+//! assert!(peak >= tree.min_feasible_memory());
+//!
+//! // Execute out-of-core with less memory and count the I/O volume.
+//! let m = tree.min_feasible_memory();
+//! let io = fif_io(&tree, &schedule, m).unwrap();
+//! assert!(io.total_io <= tree.total_weight());
+//!
+//! // The paper's heuristics usually do better than OptMinMem + FiF:
+//! let best = Algorithm::RecExpand.run(&tree, m).unwrap();
+//! assert!(best.io_volume <= io.total_io);
+//! ```
+
+pub use oocts_core as core;
+pub use oocts_gen as gen;
+pub use oocts_minmem as minmem;
+pub use oocts_profile as profile;
+pub use oocts_sparse as sparse;
+pub use oocts_tree as tree;
+
+/// Convenient glob-import of the most used items of the workspace.
+pub mod prelude {
+    pub use oocts_core::algorithms::{Algorithm, AlgorithmResult};
+    pub use oocts_core::homogeneous;
+    pub use oocts_core::postorder::post_order_min_io;
+    pub use oocts_core::recexpand::{full_rec_expand, rec_expand};
+    pub use oocts_minmem::{opt_min_mem, post_order_min_mem};
+    pub use oocts_profile::bounds::MemoryBounds;
+    pub use oocts_profile::profile::PerformanceProfile;
+    pub use oocts_tree::{fif_io, peak_memory, NodeId, Schedule, Tree, TreeBuilder};
+}
