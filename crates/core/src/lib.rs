@@ -30,12 +30,14 @@
 //!   Theorem 2 (from an I/O function to a schedule);
 //! * [`homogeneous`] — the `l`/`c`/`w`/`W` labelling of Section 4.2 and the
 //!   matching lower bound (Lemma 5);
-//! * [`bruteforce`] — exact MinIO by exhaustive search (test oracle).
+//! * `bruteforce` (behind the `brute-force` feature) — exact MinIO by
+//!   exhaustive search (test oracle).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
+#[cfg(feature = "brute-force")]
 pub mod bruteforce;
 pub mod homogeneous;
 pub mod postorder;
@@ -43,6 +45,7 @@ pub mod recexpand;
 pub mod theorem2;
 
 pub use algorithms::{Algorithm, AlgorithmResult};
+#[cfg(feature = "brute-force")]
 pub use bruteforce::brute_force_min_io;
 pub use postorder::{post_order_min_io, PostorderIoAnalysis};
 pub use recexpand::{full_rec_expand, rec_expand, RecExpandOutcome};

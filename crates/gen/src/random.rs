@@ -254,7 +254,7 @@ mod tests {
 
         let cat = caterpillar(4, 2, 1, 7);
         assert_eq!(cat.len(), 4 * 3);
-        assert_eq!(cat.leaves().len(), 2 * 4 + 0);
+        assert_eq!(cat.leaves().len(), 2 * 4);
         cat.validate().unwrap();
     }
 

@@ -13,17 +13,20 @@
 //!   by non-increasing `P_j − w_j`, where `P_j` is the postorder peak of the
 //!   subtree rooted at `j`.
 //!
-//! A brute-force scheduler ([`brute_force_min_peak`]) over all topological
-//! orders is provided as a test oracle for small trees.
+//! A brute-force scheduler (`brute_force_min_peak`, behind the
+//! `brute-force` feature) over all topological orders is provided as a test
+//! oracle for small trees.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "brute-force")]
 pub mod bruteforce;
 pub mod liu;
 pub mod postorder;
 pub mod segments;
 
+#[cfg(feature = "brute-force")]
 pub use bruteforce::brute_force_min_peak;
 pub use liu::{opt_min_mem, opt_min_mem_peak, opt_min_mem_subtree};
 pub use postorder::{post_order_min_mem, post_order_min_mem_subtree};

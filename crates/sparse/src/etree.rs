@@ -104,8 +104,8 @@ mod tests {
         let n = 6;
         let p = SymmetricPattern::from_edges(n, (0..n - 1).map(|i| (i, n - 1)));
         let parent = elimination_tree(&p);
-        for i in 0..n - 1 {
-            assert_eq!(parent[i], Some(n - 1));
+        for par in &parent[..n - 1] {
+            assert_eq!(*par, Some(n - 1));
         }
         assert_eq!(parent[n - 1], None);
         assert_eq!(etree_height(&parent), 1);

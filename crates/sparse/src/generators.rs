@@ -138,6 +138,6 @@ mod tests {
         assert_ne!(a, c, "different seeds should differ");
         // Density is in the right ballpark.
         let avg = a.nnz_off_diagonal() as f64 / 50.0;
-        assert!(avg >= 2.0 && avg <= 10.0, "unexpected density {avg}");
+        assert!((2.0..=10.0).contains(&avg), "unexpected density {avg}");
     }
 }

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/builder surface the workspace benches use and
+//! reports simple wall-clock timings (best / mean over a handful of
+//! samples) to stdout. There is no statistical analysis, HTML report or
+//! baseline comparison — this is a smoke-benchmark harness for offline
+//! environments.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier, used like criterion's own.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.default_sample_size, self.default_measurement);
+        f(&mut bencher);
+        bencher.report(&id.label);
+        self
+    }
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput annotation (recorded but only echoed in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub does a single warm-up run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total time spent sampling one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Keep smoke runs fast even when callers ask for long measurements.
+        self.measurement = d.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput (echoed, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+        }
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: one warm-up call, then up to `sample_size` timed
+    /// calls bounded by the measurement budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {label}: no samples");
+            return;
+        }
+        let best = self.samples.iter().min().expect("nonempty");
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "  {label}: best {best:?}, mean {mean:?} over {} samples",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags (`--bench`, filters) passed by cargo.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind `parking_lot`'s infallible API: `lock()`
+//! returns a guard directly. Poisoning is ignored (a panicking worker
+//! already aborts the test or experiment that owns the data).
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive with `parking_lot`'s infallible `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro) that
+//! the workspace attaches to its data structures. No serialization is ever
+//! performed at runtime, so the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! markers (no value is ever serialized at runtime), so both derives expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
