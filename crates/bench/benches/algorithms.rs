@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use oocts_core::algorithms::Algorithm;
+use oocts_core::scheduler::{
+    FullRecExpand, OptMinMem, PostOrderMinIo, PostOrderMinMem, RecExpand, Scheduler,
+};
 use oocts_gen::random_binary_tree;
 use oocts_profile::bounds::{MemoryBound, MemoryBounds};
 
@@ -19,16 +21,17 @@ fn bench_algorithms(c: &mut Criterion) {
         let tree = random_binary_tree(n, 1..=100, 42);
         let bounds = MemoryBounds::of(&tree);
         let memory = bounds.memory(MemoryBound::Middle);
-        for algo in [
-            Algorithm::PostOrderMinIo,
-            Algorithm::PostOrderMinMem,
-            Algorithm::OptMinMem,
-            Algorithm::RecExpand,
-        ] {
+        let schedulers: [&dyn Scheduler; 4] = [
+            &PostOrderMinIo,
+            &PostOrderMinMem,
+            &OptMinMem,
+            &RecExpand::PAPER,
+        ];
+        for scheduler in schedulers {
             group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
+                BenchmarkId::new(scheduler.name(), n),
                 &(&tree, memory),
-                |b, (tree, memory)| b.iter(|| algo.run(tree, *memory).unwrap().io_volume),
+                |b, (tree, memory)| b.iter(|| scheduler.solve(tree, *memory).unwrap().io_volume),
             );
         }
         // FullRecExpand only on the smaller sizes (it is the expensive one).
@@ -37,7 +40,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 BenchmarkId::new("FullRecExpand", n),
                 &(&tree, memory),
                 |b, (tree, memory)| {
-                    b.iter(|| Algorithm::FullRecExpand.run(tree, *memory).unwrap().io_volume)
+                    b.iter(|| FullRecExpand.solve(tree, *memory).unwrap().io_volume)
                 },
             );
         }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 8 of the paper (synth dataset, LowerBound memory bound).
-use oocts_bench::{Cli, synth_figure};
+use oocts_bench::{synth_figure, Cli};
 use oocts_profile::bounds::MemoryBound;
 
 fn main() {

@@ -1,5 +1,5 @@
 //! Regenerates Figure 11 of the paper (trees dataset, BelowPeak memory bound).
-use oocts_bench::{Cli, trees_figure};
+use oocts_bench::{trees_figure, Cli};
 use oocts_profile::bounds::MemoryBound;
 
 fn main() {

@@ -15,15 +15,19 @@
 //! | `figA_examples` | Appendix A, Figures 6 and 7 |
 //!
 //! Every binary accepts `--trees N`, `--nodes K`, `--scale S`, `--seed X`,
-//! `--threads T` and `--quick`; run with `--help` for details. Output is a
-//! short ASCII performance-profile table plus a CSV block, ready to be pasted
-//! into EXPERIMENTS.md.
+//! `--threads T`, `--algos a,b,c` (strategy selection through the
+//! [`oocts_core::registry::SchedulerRegistry`], parameterized specs such as
+//! `RecExpand(max_rounds=5)` included) and `--quick`; run with `--help` for
+//! details. Output is a short ASCII performance-profile table plus a CSV
+//! block, ready to be pasted into EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use oocts_core::algorithms::Algorithm;
+use oocts_core::registry::SchedulerRegistry;
+use oocts_core::scheduler::{FullRecExpand, OptMinMem, PostOrderMinIo, Scheduler};
 use oocts_gen::dataset::{synth_dataset, trees_dataset, DatasetConfig};
 use oocts_gen::paper;
 use oocts_minmem::opt_min_mem;
@@ -32,7 +36,7 @@ use oocts_profile::runner::{run_experiment, ExperimentConfig, ExperimentResults}
 use oocts_tree::{fif_io, Tree};
 
 /// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Cli {
     /// Number of SYNTH instances.
     pub trees: usize,
@@ -46,6 +50,24 @@ pub struct Cli {
     pub threads: usize,
     /// Include FullRecExpand in SYNTH runs (expensive).
     pub full: bool,
+    /// Strategy selection (`--algos a,b,c`, resolved once through the
+    /// scheduler registry at parse time); `None` keeps each figure's
+    /// paper-default set.
+    pub algos: Option<Vec<Arc<dyn Scheduler>>>,
+}
+
+impl std::fmt::Debug for Cli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cli")
+            .field("trees", &self.trees)
+            .field("nodes", &self.nodes)
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("full", &self.full)
+            .field("algos", &self.algo_names())
+            .finish()
+    }
 }
 
 impl Default for Cli {
@@ -57,6 +79,7 @@ impl Default for Cli {
             seed: 0x5eed,
             threads: 0,
             full: true,
+            algos: None,
         }
     }
 }
@@ -77,7 +100,18 @@ impl Cli {
                 "--scale" => cli.scale = value("--scale").parse().expect("--scale wants a number"),
                 "--seed" => cli.seed = value("--seed").parse().expect("--seed wants a number"),
                 "--threads" => {
-                    cli.threads = value("--threads").parse().expect("--threads wants a number")
+                    cli.threads = value("--threads")
+                        .parse()
+                        .expect("--threads wants a number")
+                }
+                "--algos" => {
+                    let registry = SchedulerRegistry::with_builtins();
+                    let list = value("--algos");
+                    cli.algos = Some(
+                        registry
+                            .get_list(&list)
+                            .unwrap_or_else(|e| panic!("--algos: {e}")),
+                    );
                 }
                 "--no-full" => cli.full = false,
                 "--quick" => {
@@ -87,7 +121,12 @@ impl Cli {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "options: --trees N --nodes K --scale S --seed X --threads T --no-full --quick"
+                        "options: --trees N --nodes K --scale S --seed X --threads T \
+                         --algos a,b,c --no-full --quick"
+                    );
+                    println!(
+                        "registered schedulers: {}",
+                        SchedulerRegistry::with_builtins().names().join(", ")
                     );
                     std::process::exit(0);
                 }
@@ -95,6 +134,14 @@ impl Cli {
             }
         }
         cli
+    }
+
+    /// The names of the schedulers selected with `--algos`; `None` if the
+    /// flag was not given.
+    pub fn algo_names(&self) -> Option<Vec<String>> {
+        self.algos
+            .as_ref()
+            .map(|s| s.iter().map(|s| s.name()).collect())
     }
 
     fn dataset_config(&self) -> DatasetConfig {
@@ -117,8 +164,12 @@ pub fn synth_figure(cli: &Cli, bound: MemoryBound, figure: &str) -> String {
     let ds = synth_dataset(&cli.dataset_config());
     let instances: Vec<(String, Tree)> = ds.into_iter().map(|i| (i.name, i.tree)).collect();
     let mut config = ExperimentConfig::synth(bound);
-    if !cli.full {
-        config.algorithms.retain(|a| *a != Algorithm::FullRecExpand);
+    if let Some(schedulers) = &cli.algos {
+        config.schedulers = schedulers.clone();
+    } else if !cli.full {
+        config
+            .schedulers
+            .retain(|s| s.name() != FullRecExpand.name());
     }
     config.threads = cli.threads;
     let results = run_experiment(&instances, &config);
@@ -134,6 +185,9 @@ pub fn trees_figure(cli: &Cli, bound: MemoryBound, figure: &str) -> String {
     let ds = trees_dataset(&cli.dataset_config());
     let instances: Vec<(String, Tree)> = ds.into_iter().map(|i| (i.name, i.tree)).collect();
     let mut config = ExperimentConfig::trees(bound);
+    if let Some(schedulers) = &cli.algos {
+        config.schedulers = schedulers.clone();
+    }
     config.threads = cli.threads;
     let results = run_experiment(&instances, &config);
     let mut out = render_report(figure, &results, started);
@@ -155,15 +209,15 @@ fn render_report(figure: &str, results: &ExperimentResults, started: Instant) ->
         "=== {figure} — memory bound {}, {} instances, {} algorithms, {:.1}s ===\n",
         results.bound,
         results.results.len(),
-        results.algorithms.len(),
+        results.schedulers.len(),
         started.elapsed().as_secs_f64()
     ));
     out.push_str(&profile.to_ascii(&REPORT_THRESHOLDS));
     out.push('\n');
-    for (a, algo) in results.algorithms.iter().enumerate() {
+    for (a, name) in results.scheduler_names().iter().enumerate() {
         out.push_str(&format!(
             "{:<18} win-rate {:>6.1}%   mean overhead {:>7.2}%\n",
-            algo.name(),
+            name,
             profile.win_rate(a) * 100.0,
             profile.mean_overhead(a) * 100.0
         ));
@@ -185,7 +239,7 @@ pub fn counterexamples_report() -> String {
     for levels in [0usize, 2, 4, 8, 16, 32] {
         let (tree, reference) = paper::fig2a_family(levels, m);
         let ref_io = fif_io(&tree, &reference, m).unwrap().total_io;
-        let po = Algorithm::PostOrderMinIo.run(&tree, m).unwrap();
+        let po = PostOrderMinIo.solve(&tree, m).unwrap();
         out.push_str(&format!(
             "{levels:>6}  {:>5}  {m:>2}  {ref_io:>12}  {:>12}  {:>5.1}\n",
             tree.len(),
@@ -214,7 +268,7 @@ pub fn counterexamples_report() -> String {
     for k in [2u64, 4, 8, 16, 32, 64] {
         let (tree, reference, m) = paper::fig2c_family(k);
         let ref_io = fif_io(&tree, &reference, m).unwrap().total_io;
-        let mm = Algorithm::OptMinMem.run(&tree, m).unwrap();
+        let mm = OptMinMem.solve(&tree, m).unwrap();
         out.push_str(&format!(
             "{k:>5}  {:>5}  {m:>4}  {ref_io:>12}  {:>12}  {:>5.1}  {:>6}\n",
             tree.len(),
@@ -259,7 +313,9 @@ pub fn recexpand_ablation_report(cli: &Cli) -> String {
             let bounds = MemoryBounds::of(&inst.tree);
             let memory = bounds.memory(MemoryBound::Middle);
             let outcome = rec_expand_with_limit(&inst.tree, memory, limit).expect("feasible");
-            let io = fif_io(&inst.tree, &outcome.schedule, memory).unwrap().total_io;
+            let io = fif_io(&inst.tree, &outcome.schedule, memory)
+                .unwrap()
+                .total_io;
             total_io += io;
             perf_sum += oocts_profile::metric::performance(memory, io);
             expansions += outcome.expansions;
@@ -287,14 +343,12 @@ pub fn appendix_examples_report() -> String {
         out.push_str(&format!("=== {name} (M = {m}) ===\n"));
         let (_, opt) = oocts_core::brute_force_min_io(&tree, m).unwrap();
         out.push_str(&format!("optimal I/O volume: {opt}\n"));
-        for algo in [
-            Algorithm::PostOrderMinIo,
-            Algorithm::OptMinMem,
-            Algorithm::RecExpand,
-            Algorithm::FullRecExpand,
-        ] {
-            let res = algo.run(&tree, m).unwrap();
-            out.push_str(&format!("{:<18} {:>3} I/Os\n", algo.name(), res.io_volume));
+        for scheduler in oocts_core::scheduler::synth_schedulers() {
+            let report = scheduler.solve(&tree, m).unwrap();
+            out.push_str(&format!(
+                "{:<18} {:>3} I/Os\n",
+                report.scheduler, report.io_volume
+            ));
         }
         out.push('\n');
     }
@@ -308,8 +362,7 @@ mod tests {
     #[test]
     fn cli_parses_options() {
         let cli = Cli::parse(
-            ["--trees", "5", "--nodes", "100", "--seed", "9", "--no-full"]
-                .map(str::to_string),
+            ["--trees", "5", "--nodes", "100", "--seed", "9", "--no-full"].map(str::to_string),
         );
         assert_eq!(cli.trees, 5);
         assert_eq!(cli.nodes, 100);
@@ -323,6 +376,37 @@ mod tests {
     #[should_panic(expected = "unknown option")]
     fn cli_rejects_unknown_options() {
         Cli::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn cli_resolves_algos_through_the_registry() {
+        let cli =
+            Cli::parse(["--algos", "postorderminio,RecExpand(max_rounds=4)"].map(str::to_string));
+        assert_eq!(
+            cli.algo_names().unwrap(),
+            ["PostOrderMinIO", "RecExpand(max_rounds=4)"]
+        );
+        let schedulers = cli.algos.as_ref().unwrap();
+        assert_eq!(schedulers.len(), 2);
+        assert_eq!(schedulers[1].name(), "RecExpand(max_rounds=4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "--algos")]
+    fn cli_rejects_unknown_algos() {
+        Cli::parse(["--algos", "NoSuchScheduler"].map(str::to_string));
+    }
+
+    #[test]
+    fn synth_figure_honours_algo_selection() {
+        let mut cli =
+            Cli::parse(["--quick", "--algos", "PostOrderMinIO,OptMinMem"].map(str::to_string));
+        cli.trees = 4;
+        cli.nodes = 150;
+        let report = synth_figure(&cli, MemoryBound::Middle, "Figure 4 (selected)");
+        assert!(report.contains("2 algorithms"));
+        assert!(report.contains("PostOrderMinIO"));
+        assert!(!report.contains("RecExpand"));
     }
 
     #[test]

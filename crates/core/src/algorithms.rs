@@ -1,19 +1,36 @@
-//! A uniform interface over all scheduling strategies compared in the paper.
+//! Deprecated closed enumeration of the built-in strategies.
 //!
-//! Every strategy maps `(tree, M)` to a schedule; its I/O volume is always
-//! measured by the Furthest-in-the-Future simulator on that schedule
-//! (Theorem 1 makes this the fairest possible accounting). The
-//! [`Algorithm`] enum is what the evaluation harness, the benchmarks and the
-//! examples iterate over.
+//! The [`Algorithm`] enum predates the open [`crate::scheduler::Scheduler`]
+//! trait. It is kept as a thin shim — every method delegates to the
+//! trait adapters the registry serves — so existing code keeps compiling,
+//! but new code should use the trait API:
+//!
+//! | pre-0.2 | now |
+//! |---|---|
+//! | `Algorithm::RecExpand.run(&tree, m)` | `RecExpand::default().solve(&tree, m)` |
+//! | `Algorithm::RecExpand.schedule(&tree, m)` | `RecExpand::default().schedule(&tree, m)` |
+//! | `Algorithm::SYNTH_SET.to_vec()` | `scheduler::synth_schedulers()` |
+//! | `Algorithm::ALL` iteration | `scheduler::builtin_schedulers()` / `SchedulerRegistry` |
+//! | matching on the enum to dispatch | `SchedulerRegistry::get(name)` |
 
-use oocts_minmem::{opt_min_mem, post_order_min_mem};
-use oocts_tree::{fif_io, Schedule, Tree, TreeError};
+#![allow(deprecated)]
 
-use crate::postorder::post_order_min_io;
-use crate::recexpand::{full_rec_expand, rec_expand};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use oocts_tree::{Schedule, Tree, TreeError};
+
+use crate::registry::SchedulerError;
+use crate::scheduler::{
+    FullRecExpand, OptMinMem, PostOrderMinIo, PostOrderMinMem, RecExpand, Scheduler,
+};
 
 /// The scheduling strategies evaluated in the paper (Section 6) plus the
 /// peak-memory postorder baseline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the open `scheduler::Scheduler` trait and `registry::SchedulerRegistry` instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Best postorder for I/O volume (Section 4.1; Agullo).
@@ -49,7 +66,7 @@ impl Algorithm {
         Algorithm::RecExpand,
     ];
 
-    /// Every strategy known to the crate.
+    /// Every strategy known to the enum.
     pub const ALL: [Algorithm; 5] = [
         Algorithm::PostOrderMinIo,
         Algorithm::OptMinMem,
@@ -57,6 +74,18 @@ impl Algorithm {
         Algorithm::FullRecExpand,
         Algorithm::PostOrderMinMem,
     ];
+
+    /// The equivalent trait-based scheduler (what the registry serves under
+    /// [`Algorithm::name`]).
+    pub fn to_scheduler(self) -> Arc<dyn Scheduler> {
+        match self {
+            Algorithm::PostOrderMinIo => Arc::new(PostOrderMinIo),
+            Algorithm::OptMinMem => Arc::new(OptMinMem),
+            Algorithm::RecExpand => Arc::new(RecExpand::default()),
+            Algorithm::FullRecExpand => Arc::new(FullRecExpand),
+            Algorithm::PostOrderMinMem => Arc::new(PostOrderMinMem),
+        }
+    }
 
     /// The name used in the paper (and in our reports).
     pub fn name(self) -> &'static str {
@@ -72,24 +101,17 @@ impl Algorithm {
     /// Computes this strategy's schedule for `tree` under memory bound
     /// `memory`.
     pub fn schedule(self, tree: &Tree, memory: u64) -> Result<Schedule, TreeError> {
-        match self {
-            Algorithm::PostOrderMinIo => Ok(post_order_min_io(tree, memory).0),
-            Algorithm::OptMinMem => Ok(opt_min_mem(tree).0),
-            Algorithm::RecExpand => Ok(rec_expand(tree, memory)?.schedule),
-            Algorithm::FullRecExpand => Ok(full_rec_expand(tree, memory)?.schedule),
-            Algorithm::PostOrderMinMem => Ok(post_order_min_mem(tree).0),
-        }
+        self.to_scheduler().schedule(tree, memory)
     }
 
     /// Runs the strategy and measures its I/O volume with the FiF simulator.
     pub fn run(self, tree: &Tree, memory: u64) -> Result<AlgorithmResult, TreeError> {
-        let schedule = self.schedule(tree, memory)?;
-        let io = fif_io(tree, &schedule, memory)?;
+        let report = self.to_scheduler().solve(tree, memory)?;
         Ok(AlgorithmResult {
             algorithm: self,
-            io_volume: io.total_io,
-            performance: io.performance(memory),
-            schedule,
+            io_volume: report.io_volume,
+            performance: report.performance,
+            schedule: report.schedule,
         })
     }
 }
@@ -100,7 +122,28 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// The outcome of running one strategy on one instance.
+impl FromStr for Algorithm {
+    type Err = SchedulerError;
+
+    /// Case-insensitive lookup by [`Algorithm::name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let wanted = s.trim();
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(wanted))
+            .ok_or_else(|| SchedulerError::UnknownScheduler {
+                name: wanted.to_string(),
+                available: Algorithm::ALL
+                    .iter()
+                    .map(|a| a.name().to_string())
+                    .collect(),
+            })
+    }
+}
+
+/// The outcome of running one strategy on one instance (shim counterpart of
+/// [`crate::scheduler::SolveReport`]).
+#[deprecated(since = "0.2.0", note = "use `scheduler::SolveReport` instead")]
 #[derive(Debug, Clone)]
 pub struct AlgorithmResult {
     /// The strategy that produced this result.
@@ -144,8 +187,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Algorithm::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), Algorithm::ALL.len());
     }
 
@@ -164,5 +206,31 @@ mod tests {
         let res = Algorithm::OptMinMem.run(&t, 10).unwrap();
         let expected = (10 + res.io_volume) as f64 / 10.0;
         assert!((res.performance - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shim_matches_trait_adapters_exactly() {
+        let t = fig6_tree();
+        for algo in Algorithm::ALL {
+            let scheduler = algo.to_scheduler();
+            assert_eq!(algo.name(), scheduler.name());
+            assert_eq!(
+                algo.schedule(&t, 10).unwrap().order(),
+                scheduler.schedule(&t, 10).unwrap().order(),
+                "{algo}: shim and adapter must produce identical orders"
+            );
+        }
+    }
+
+    #[test]
+    fn from_str_round_trips_names() {
+        for algo in Algorithm::ALL {
+            assert_eq!(algo.name().parse::<Algorithm>().unwrap(), algo);
+            assert_eq!(
+                algo.name().to_lowercase().parse::<Algorithm>().unwrap(),
+                algo
+            );
+        }
+        assert!("NoSuchAlgorithm".parse::<Algorithm>().is_err());
     }
 }

@@ -40,7 +40,14 @@ pub fn brute_force_min_io(tree: &Tree, memory: u64) -> Result<(Schedule, u64), T
     let mut ready: Vec<NodeId> = tree.node_ids().filter(|&i| tree.is_leaf(i)).collect();
     let mut current = Vec::with_capacity(n);
     let mut best: (Vec<NodeId>, u64) = (Vec::new(), u64::MAX);
-    explore(tree, memory, &mut ready, &mut missing, &mut current, &mut best);
+    explore(
+        tree,
+        memory,
+        &mut ready,
+        &mut missing,
+        &mut current,
+        &mut best,
+    );
     debug_assert!(best.1 != u64::MAX);
     Ok((Schedule::new(best.0), best.1))
 }

@@ -14,12 +14,20 @@
 //! to it is the volume produced by the Furthest-in-the-Future policy
 //! ([`oocts_tree::fif_io`]), which is optimal for a fixed `σ` (Theorem 1).
 //!
+//! Every strategy implements the open [`scheduler::Scheduler`] trait
+//! (`name()` + `schedule()`, with a provided `solve()` that performs the FiF
+//! accounting); strategies are addressed by name — including parameterized
+//! specs such as `"RecExpand(max_rounds=5)"` — through
+//! [`registry::SchedulerRegistry`], which also accepts user-defined
+//! implementations. The pre-0.2 closed [`algorithms::Algorithm`] enum
+//! remains as a deprecated shim over the trait adapters.
+//!
 //! Provided algorithms:
 //!
 //! * [`postorder::post_order_min_io`] — the best postorder traversal for
 //!   I/O volume (Section 4.1, due to Agullo); optimal on homogeneous trees
 //!   (Theorem 4) but not competitive in general (Section 4.3);
-//! * [`algorithms::Algorithm::OptMinMem`] — Liu's peak-memory-optimal
+//! * [`scheduler::OptMinMem`] — Liu's peak-memory-optimal
 //!   traversal used as a MinIO heuristic (Section 4.4): not competitive
 //!   either;
 //! * [`recexpand::full_rec_expand`] and [`recexpand::rec_expand`] — the
@@ -42,11 +50,16 @@ pub mod bruteforce;
 pub mod homogeneous;
 pub mod postorder;
 pub mod recexpand;
+pub mod registry;
+pub mod scheduler;
 pub mod theorem2;
 
+#[allow(deprecated)]
 pub use algorithms::{Algorithm, AlgorithmResult};
 #[cfg(feature = "brute-force")]
 pub use bruteforce::brute_force_min_io;
 pub use postorder::{post_order_min_io, PostorderIoAnalysis};
 pub use recexpand::{full_rec_expand, rec_expand, RecExpandOutcome};
+pub use registry::{SchedulerError, SchedulerRegistry, SchedulerSpec};
+pub use scheduler::{ExpansionStats, Scheduler, SolveReport};
 pub use theorem2::schedule_for_io_function;

@@ -1,0 +1,524 @@
+//! Name-based scheduler lookup and registration: [`SchedulerRegistry`].
+//!
+//! The registry maps *specs* — `"RecExpand"`, `"RecExpand(max_rounds=5)"`,
+//! `"RandomPostOrder(seed=42)"` — to [`Scheduler`] instances. Built-in
+//! strategies are pre-registered by [`SchedulerRegistry::with_builtins`];
+//! user-defined strategies join through [`SchedulerRegistry::register`] (an
+//! instance) or [`SchedulerRegistry::register_factory`] (a parameterized
+//! constructor) and are from then on indistinguishable from built-ins: the
+//! experiment runner, the figure binaries' `--algos` flag and the CSV/profile
+//! reports all address schedulers by name only.
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::scheduler::{
+    FullRecExpand, OptMinMem, PostOrderMinIo, PostOrderMinMem, RandomPostOrder, RecExpand,
+    Scheduler,
+};
+
+/// A parsed scheduler spec: a strategy name plus optional `key=value`
+/// parameters, the canonical string form being `Name` or
+/// `Name(key=value, key=value)`.
+///
+/// `SchedulerSpec` implements [`FromStr`], so `"RecExpand(max_rounds=5)"
+/// .parse::<SchedulerSpec>()` works anywhere; resolution against the set of
+/// registered strategies is [`SchedulerRegistry::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSpec {
+    /// The strategy name (registry key; matched case-insensitively).
+    pub name: String,
+    /// The `key=value` parameters, in written order.
+    pub params: Vec<(String, String)>,
+}
+
+impl SchedulerSpec {
+    /// A spec with no parameters.
+    pub fn bare(name: impl Into<String>) -> Self {
+        SchedulerSpec {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// The value of parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses parameter `key` as an integer, with a default when absent.
+    pub fn int_param<T: FromStr>(&self, key: &str, default: T) -> Result<T, SchedulerError> {
+        match self.param(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| SchedulerError::BadParameter {
+                spec: self.to_string(),
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Errors if the spec carries a parameter outside `allowed` — factories
+    /// call this so that typos (`RecExpand(rounds=3)`) fail loudly instead of
+    /// being ignored.
+    pub fn ensure_only(&self, allowed: &[&str]) -> Result<(), SchedulerError> {
+        for (k, _) in &self.params {
+            if !allowed.contains(&k.as_str()) {
+                return Err(SchedulerError::UnknownParameter {
+                    spec: self.to_string(),
+                    key: k.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.params.is_empty() {
+            f.write_str("(")?;
+            for (i, (k, v)) in self.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = SchedulerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let malformed = || SchedulerError::MalformedSpec {
+            spec: s.to_string(),
+        };
+        let (name, rest) = match s.find('(') {
+            None => (s, None),
+            Some(open) => {
+                let inner = s[open + 1..].strip_suffix(')').ok_or_else(malformed)?;
+                (&s[..open], Some(inner))
+            }
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains([',', ')', '=']) {
+            return Err(malformed());
+        }
+        let mut params = Vec::new();
+        if let Some(inner) = rest {
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                let (k, v) = part.split_once('=').ok_or_else(malformed)?;
+                let (k, v) = (k.trim(), v.trim());
+                if k.is_empty() || v.is_empty() {
+                    return Err(malformed());
+                }
+                params.push((k.to_string(), v.to_string()));
+            }
+        }
+        Ok(SchedulerSpec {
+            name: name.to_string(),
+            params,
+        })
+    }
+}
+
+/// Errors of scheduler lookup and construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The spec string does not follow `Name` / `Name(key=value, …)`.
+    MalformedSpec {
+        /// The offending spec string.
+        spec: String,
+    },
+    /// No strategy of this name is registered.
+    UnknownScheduler {
+        /// The requested name.
+        name: String,
+        /// The names that are registered, for the error message.
+        available: Vec<String>,
+    },
+    /// A parameter value failed to parse.
+    BadParameter {
+        /// The full spec string.
+        spec: String,
+        /// The parameter key.
+        key: String,
+        /// The unparsable value.
+        value: String,
+    },
+    /// The spec carries a parameter the strategy does not understand.
+    UnknownParameter {
+        /// The full spec string.
+        spec: String,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A name was registered twice.
+    DuplicateName {
+        /// The already-taken name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::MalformedSpec { spec } => {
+                write!(
+                    f,
+                    "malformed scheduler spec {spec:?}: expected `Name` or `Name(key=value, ...)`"
+                )
+            }
+            SchedulerError::UnknownScheduler { name, available } => {
+                write!(
+                    f,
+                    "unknown scheduler {name:?}; registered: {}",
+                    available.join(", ")
+                )
+            }
+            SchedulerError::BadParameter { spec, key, value } => {
+                write!(f, "bad value {value:?} for parameter `{key}` in {spec:?}")
+            }
+            SchedulerError::UnknownParameter { spec, key } => {
+                write!(f, "unknown parameter `{key}` in {spec:?}")
+            }
+            SchedulerError::DuplicateName { name } => {
+                write!(f, "a scheduler named {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// A constructor turning a parsed [`SchedulerSpec`] into a strategy instance.
+pub type SchedulerFactory =
+    Box<dyn Fn(&SchedulerSpec) -> Result<Arc<dyn Scheduler>, SchedulerError> + Send + Sync>;
+
+/// An open set of named scheduling strategies.
+///
+/// ```
+/// use std::sync::Arc;
+/// use oocts_core::registry::SchedulerRegistry;
+/// use oocts_core::scheduler::Scheduler;
+/// use oocts_tree::{Schedule, Tree, TreeError};
+///
+/// #[derive(Debug)]
+/// struct PlainPostorder;
+/// impl Scheduler for PlainPostorder {
+///     fn name(&self) -> String { "PlainPostorder".into() }
+///     fn schedule(&self, tree: &Tree, _m: u64) -> Result<Schedule, TreeError> {
+///         Ok(Schedule::postorder(tree))
+///     }
+/// }
+///
+/// let mut registry = SchedulerRegistry::with_builtins();
+/// registry.register(Arc::new(PlainPostorder)).unwrap();
+/// let s = registry.get("PlainPostorder").unwrap();
+/// assert_eq!(s.name(), "PlainPostorder");
+/// assert!(registry.get("RecExpand(max_rounds=4)").is_ok());
+/// ```
+pub struct SchedulerRegistry {
+    // Keyed by lower-cased name so `--algos optminmem` works from a shell.
+    entries: BTreeMap<String, (String, SchedulerFactory)>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchedulerRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with every built-in strategy:
+    /// `PostOrderMinIO`, `OptMinMem`, `RecExpand` (parameter `max_rounds`,
+    /// default 2), `FullRecExpand`, `PostOrderMinMem`, and
+    /// `RandomPostOrder` (parameter `seed`, default 0).
+    pub fn with_builtins() -> Self {
+        let mut r = SchedulerRegistry::new();
+        r.register_factory("PostOrderMinIO", |spec| {
+            spec.ensure_only(&[])?;
+            Ok(Arc::new(PostOrderMinIo))
+        })
+        .expect("fresh registry");
+        r.register_factory("OptMinMem", |spec| {
+            spec.ensure_only(&[])?;
+            Ok(Arc::new(OptMinMem))
+        })
+        .expect("fresh registry");
+        r.register_factory("RecExpand", |spec| {
+            spec.ensure_only(&["max_rounds"])?;
+            let max_rounds = spec.int_param("max_rounds", RecExpand::PAPER_ROUNDS)?;
+            Ok(Arc::new(RecExpand { max_rounds }))
+        })
+        .expect("fresh registry");
+        r.register_factory("FullRecExpand", |spec| {
+            spec.ensure_only(&[])?;
+            Ok(Arc::new(FullRecExpand))
+        })
+        .expect("fresh registry");
+        r.register_factory("PostOrderMinMem", |spec| {
+            spec.ensure_only(&[])?;
+            Ok(Arc::new(PostOrderMinMem))
+        })
+        .expect("fresh registry");
+        r.register_factory("RandomPostOrder", |spec| {
+            spec.ensure_only(&["seed"])?;
+            let seed = spec.int_param("seed", 0u64)?;
+            Ok(Arc::new(RandomPostOrder { seed }))
+        })
+        .expect("fresh registry");
+        r
+    }
+
+    /// Registers a fixed strategy instance under (the base name of) its own
+    /// [`Scheduler::name`]. The instance is shared (cloned `Arc`) across all
+    /// lookups. A lookup may request the bare name or repeat the instance's
+    /// canonical parameterized name; any other parameters are rejected.
+    pub fn register(&mut self, scheduler: Arc<dyn Scheduler>) -> Result<(), SchedulerError> {
+        let canonical: SchedulerSpec = scheduler.name().parse()?;
+        let base = canonical.name.clone();
+        self.register_factory(&base, move |requested| {
+            if requested.params.is_empty() || requested.params == canonical.params {
+                Ok(Arc::clone(&scheduler))
+            } else {
+                Err(SchedulerError::UnknownParameter {
+                    spec: requested.to_string(),
+                    key: requested.params[0].0.clone(),
+                })
+            }
+        })
+    }
+
+    /// Registers a parameterized constructor under `name`. The factory
+    /// receives the parsed spec and builds an instance; it should call
+    /// [`SchedulerSpec::ensure_only`] to reject unknown parameters.
+    pub fn register_factory(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&SchedulerSpec) -> Result<Arc<dyn Scheduler>, SchedulerError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Result<(), SchedulerError> {
+        let key = name.to_ascii_lowercase();
+        if self.entries.contains_key(&key) {
+            return Err(SchedulerError::DuplicateName {
+                name: name.to_string(),
+            });
+        }
+        self.entries
+            .insert(key, (name.to_string(), Box::new(factory)));
+        Ok(())
+    }
+
+    /// Resolves a parsed spec to a strategy instance.
+    pub fn resolve(&self, spec: &SchedulerSpec) -> Result<Arc<dyn Scheduler>, SchedulerError> {
+        let (_, factory) = self
+            .entries
+            .get(&spec.name.to_ascii_lowercase())
+            .ok_or_else(|| SchedulerError::UnknownScheduler {
+                name: spec.name.clone(),
+                available: self.names().iter().map(|s| s.to_string()).collect(),
+            })?;
+        factory(spec)
+    }
+
+    /// Parses and resolves a spec string (`"RecExpand(max_rounds=5)"`).
+    pub fn get(&self, spec: &str) -> Result<Arc<dyn Scheduler>, SchedulerError> {
+        self.resolve(&spec.parse()?)
+    }
+
+    /// Parses a comma-separated list of specs — the `--algos` syntax of the
+    /// figure binaries. Parameterized specs keep their parentheses as long as
+    /// they contain no comma (`RecExpand(max_rounds=5),OptMinMem` is fine).
+    pub fn get_list(&self, list: &str) -> Result<Vec<Arc<dyn Scheduler>>, SchedulerError> {
+        split_spec_list(list)
+            .into_iter()
+            .filter(|part| !part.is_empty())
+            .map(|part| self.get(&part))
+            .collect()
+    }
+
+    /// The registered names, in their originally registered capitalization,
+    /// sorted case-insensitively.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries
+            .values()
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// `true` if a strategy of this name (case-insensitive) is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Number of registered strategies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no strategy is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        SchedulerRegistry::with_builtins()
+    }
+}
+
+impl std::fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Splits a comma-separated spec list, keeping commas inside `(...)` intact.
+fn split_spec_list(list: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in list.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(current.trim().to_string());
+                current = String::new();
+            }
+            _ => current.push(c),
+        }
+    }
+    parts.push(current.trim().to_string());
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::builtin_schedulers;
+    use oocts_tree::{Schedule, Tree, TreeBuilder, TreeError};
+
+    #[test]
+    fn specs_parse_and_roundtrip() {
+        let bare: SchedulerSpec = "RecExpand".parse().unwrap();
+        assert_eq!(bare, SchedulerSpec::bare("RecExpand"));
+        let with_params: SchedulerSpec = " RecExpand( max_rounds = 5 ) ".parse().unwrap();
+        assert_eq!(with_params.name, "RecExpand");
+        assert_eq!(with_params.param("max_rounds"), Some("5"));
+        assert_eq!(with_params.to_string(), "RecExpand(max_rounds=5)");
+        for bad in ["", "(x=1)", "Rec(", "Rec(max_rounds)", "Rec(=1)", "a=b"] {
+            assert!(
+                bad.parse::<SchedulerSpec>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn every_builtin_name_roundtrips_through_the_registry() {
+        let registry = SchedulerRegistry::with_builtins();
+        for s in builtin_schedulers() {
+            let looked_up = registry.get(&s.name()).unwrap();
+            assert_eq!(looked_up.name(), s.name(), "name() ↔ get() must round-trip");
+        }
+        assert_eq!(registry.len(), builtin_schedulers().len());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_parameterized() {
+        let registry = SchedulerRegistry::with_builtins();
+        assert_eq!(registry.get("optminmem").unwrap().name(), "OptMinMem");
+        let re = registry.get("RecExpand(max_rounds=7)").unwrap();
+        assert_eq!(re.name(), "RecExpand(max_rounds=7)");
+        let rp = registry.get("randompostorder(seed=9)").unwrap();
+        assert_eq!(rp.name(), "RandomPostOrder(seed=9)");
+    }
+
+    #[test]
+    fn unknown_names_and_parameters_error() {
+        let registry = SchedulerRegistry::with_builtins();
+        assert!(matches!(
+            registry.get("NoSuchThing"),
+            Err(SchedulerError::UnknownScheduler { .. })
+        ));
+        assert!(matches!(
+            registry.get("OptMinMem(seed=1)"),
+            Err(SchedulerError::UnknownParameter { .. })
+        ));
+        assert!(matches!(
+            registry.get("RecExpand(max_rounds=lots)"),
+            Err(SchedulerError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn get_list_splits_on_top_level_commas_only() {
+        let registry = SchedulerRegistry::with_builtins();
+        let list = registry
+            .get_list("PostOrderMinIO, RecExpand(max_rounds=3),optminmem")
+            .unwrap();
+        let names: Vec<_> = list.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["PostOrderMinIO", "RecExpand(max_rounds=3)", "OptMinMem"]
+        );
+        assert!(registry.get_list("PostOrderMinIO,bogus").is_err());
+    }
+
+    #[derive(Debug)]
+    struct Constant;
+    impl crate::scheduler::Scheduler for Constant {
+        fn name(&self) -> String {
+            "Constant".to_string()
+        }
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            Ok(Schedule::postorder(tree))
+        }
+    }
+
+    #[test]
+    fn custom_instances_register_and_resolve() {
+        let mut registry = SchedulerRegistry::with_builtins();
+        registry.register(Arc::new(Constant)).unwrap();
+        assert!(registry.contains("constant"));
+        let s = registry.get("Constant").unwrap();
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1);
+        b.add_child(r, 2);
+        let t = b.build().unwrap();
+        assert_eq!(s.schedule(&t, 10).unwrap().len(), 2);
+        // Second registration of the same name fails.
+        assert!(matches!(
+            registry.register(Arc::new(Constant)),
+            Err(SchedulerError::DuplicateName { .. })
+        ));
+    }
+}

@@ -2,11 +2,13 @@
 //! of the analytic formulas, and the homogeneous-tree theory, all validated
 //! against brute force on random small trees.
 
-use oocts_core::algorithms::Algorithm;
 use oocts_core::bruteforce::brute_force_min_io;
 use oocts_core::homogeneous;
 use oocts_core::postorder::post_order_min_io;
 use oocts_core::recexpand::{full_rec_expand, rec_expand};
+use oocts_core::scheduler::{
+    builtin_schedulers, FullRecExpand, OptMinMem, PostOrderMinIo, RecExpand, Scheduler,
+};
 use oocts_core::theorem2::schedule_for_io_function;
 use oocts_minmem::opt_min_mem;
 use oocts_tree::{check_traversal, fif_io, Tree};
@@ -58,12 +60,13 @@ proptest! {
         let (_, best) = brute_force_min_io(&tree, m).unwrap();
         let opt_peak = oocts_minmem::opt_min_mem_peak(&tree);
         prop_assert!(best >= opt_peak.saturating_sub(m));
-        for algo in Algorithm::ALL {
-            let res = algo.run(&tree, m).unwrap();
+        for scheduler in builtin_schedulers() {
+            let report = scheduler.solve(&tree, m).unwrap();
             prop_assert!(
-                res.io_volume >= best,
-                "{algo} reported {} I/Os, below the optimum {best}",
-                res.io_volume
+                report.io_volume >= best,
+                "{} reported {} I/Os, below the optimum {best}",
+                scheduler.name(),
+                report.io_volume
             );
         }
     }
@@ -87,11 +90,11 @@ proptest! {
         let w_t = homogeneous::min_io(&tree, m).unwrap();
         let (_, best) = brute_force_min_io(&tree, m).unwrap();
         prop_assert_eq!(w_t, best, "W(T) must equal the optimum");
-        let po = Algorithm::PostOrderMinIo.run(&tree, m).unwrap();
+        let po = PostOrderMinIo.solve(&tree, m).unwrap();
         prop_assert_eq!(po.io_volume, best, "PostOrderMinIO must be optimal (Theorem 4)");
-        for algo in Algorithm::ALL {
-            let res = algo.run(&tree, m).unwrap();
-            prop_assert!(res.io_volume >= w_t);
+        for scheduler in builtin_schedulers() {
+            let report = scheduler.solve(&tree, m).unwrap();
+            prop_assert!(report.io_volume >= w_t);
         }
     }
 
@@ -134,9 +137,10 @@ proptest! {
     #[test]
     fn no_io_at_incore_peak(tree in random_tree(12, 9)) {
         let peak = oocts_minmem::opt_min_mem_peak(&tree);
-        for algo in [Algorithm::OptMinMem, Algorithm::RecExpand, Algorithm::FullRecExpand] {
-            let res = algo.run(&tree, peak).unwrap();
-            prop_assert_eq!(res.io_volume, 0, "{} should need no I/O at M = peak", algo);
+        let schedulers: [&dyn Scheduler; 3] = [&OptMinMem, &RecExpand::PAPER, &FullRecExpand];
+        for scheduler in schedulers {
+            let report = scheduler.solve(&tree, peak).unwrap();
+            prop_assert_eq!(report.io_volume, 0, "{} should need no I/O at M = peak", scheduler.name());
         }
     }
 }

@@ -13,7 +13,9 @@
 //!   growth towards the root. See DESIGN.md for the substitution rationale.
 
 use oocts_sparse::ordering::{compute_ordering, Ordering};
-use oocts_sparse::{assembly_tree, grid_laplacian_2d, grid_laplacian_3d, random_symmetric, AssemblyOptions};
+use oocts_sparse::{
+    assembly_tree, grid_laplacian_2d, grid_laplacian_3d, random_symmetric, AssemblyOptions,
+};
 use oocts_tree::Tree;
 
 use crate::random::random_binary_tree;
@@ -172,7 +174,13 @@ pub fn trees_dataset(config: &DatasetConfig) -> Vec<Instance> {
             (600, 2.5),
             (1500, 3.0),
         ],
-        3 => vec![(1000, 3.0), (2000, 4.0), (4000, 4.0), (6000, 3.5), (3000, 2.5)],
+        3 => vec![
+            (1000, 3.0),
+            (2000, 4.0),
+            (4000, 4.0),
+            (6000, 3.5),
+            (3000, 2.5),
+        ],
         _ => vec![(2000, 3.0), (4000, 4.0), (8000, 4.0), (12000, 3.5)],
     };
     let seeds_per_size = match s {
@@ -182,9 +190,7 @@ pub fn trees_dataset(config: &DatasetConfig) -> Vec<Instance> {
     };
     for (i, &(n, deg)) in random_sizes.iter().enumerate() {
         for rep in 0..seeds_per_size {
-            let seed = config
-                .seed
-                .wrapping_add((i * 97 + rep * 7919) as u64);
+            let seed = config.seed.wrapping_add((i * 97 + rep * 7919) as u64);
             let pattern = random_symmetric(n, deg, seed);
             for ordering in [Ordering::MinimumDegree, Ordering::ReverseCuthillMcKee] {
                 let perm = compute_ordering(&pattern, ordering, None);

@@ -32,7 +32,10 @@ pub fn fig2a(m: u64) -> (Tree, Schedule) {
 ///
 /// `m` must be even and at least 4.
 pub fn fig2a_family(extra_levels: usize, m: u64) -> (Tree, Schedule) {
-    assert!(m >= 4 && m.is_multiple_of(2), "memory bound must be even and ≥ 4");
+    assert!(
+        m >= 4 && m.is_multiple_of(2),
+        "memory bound must be even and ≥ 4"
+    );
     let half = m / 2;
     let mut b = TreeBuilder::new();
     let mut order: Vec<NodeId> = Vec::new();

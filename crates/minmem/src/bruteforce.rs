@@ -22,10 +22,7 @@ pub fn brute_force_min_peak(tree: &Tree) -> (Schedule, u64) {
     let mut missing: Vec<usize> = (0..n)
         .map(|i| tree.children(NodeId::from_index(i)).len())
         .collect();
-    let mut ready: Vec<NodeId> = tree
-        .node_ids()
-        .filter(|&i| tree.is_leaf(i))
-        .collect();
+    let mut ready: Vec<NodeId> = tree.node_ids().filter(|&i| tree.is_leaf(i)).collect();
     let mut best = (Vec::new(), u64::MAX);
     let mut current = Vec::with_capacity(n);
     explore(

@@ -75,8 +75,7 @@ impl MemoryBounds {
             MemoryBound::LowerBound => self.lower_bound,
             MemoryBound::Middle => {
                 // M = (LB + Peak − 1) / 2, clamped to the feasible range.
-                ((self.lower_bound + self.peak_incore.saturating_sub(1)) / 2)
-                    .max(self.lower_bound)
+                ((self.lower_bound + self.peak_incore.saturating_sub(1)) / 2).max(self.lower_bound)
             }
             MemoryBound::BelowPeak => self.peak_incore.saturating_sub(1).max(self.lower_bound),
         }

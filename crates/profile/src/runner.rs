@@ -1,16 +1,25 @@
 //! Multi-threaded experiment runner.
 //!
-//! Evaluates a set of algorithms over a dataset of instances, one memory
+//! Evaluates a set of [`Scheduler`]s over a dataset of instances, one memory
 //! bound at a time, and collects per-instance I/O volumes and performances.
 //! Instances are distributed over worker threads through a crossbeam channel
 //! (each instance is independent, so this is embarrassingly parallel); the
 //! per-instance work itself stays sequential, exactly like the paper's
 //! simulations.
+//!
+//! The runner is generic over the strategy set: anything implementing
+//! [`Scheduler`] — built-in or user-defined, typically obtained from
+//! [`oocts_core::registry::SchedulerRegistry`] — flows through
+//! [`run_experiment`], the Dolan–Moré profiles and the CSV export under its
+//! registered name.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
-use oocts_core::algorithms::Algorithm;
+use oocts_core::scheduler::{synth_schedulers, trees_schedulers, Scheduler};
 use oocts_tree::Tree;
 
 use crate::bounds::{MemoryBound, MemoryBounds};
@@ -18,10 +27,10 @@ use crate::metric::performance;
 use crate::profile::PerformanceProfile;
 
 /// Configuration of one experiment (one dataset × one memory bound).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExperimentConfig {
-    /// The algorithms to compare.
-    pub algorithms: Vec<Algorithm>,
+    /// The scheduling strategies to compare.
+    pub schedulers: Vec<Arc<dyn Scheduler>>,
     /// Which of the paper's memory bounds to use.
     pub bound: MemoryBound,
     /// Number of worker threads (0 = one per available CPU).
@@ -33,29 +42,48 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// The paper's SYNTH configuration (four algorithms) at the given bound.
-    pub fn synth(bound: MemoryBound) -> Self {
+    /// A configuration comparing the given strategies at the given bound.
+    pub fn new(schedulers: Vec<Arc<dyn Scheduler>>, bound: MemoryBound) -> Self {
         ExperimentConfig {
-            algorithms: Algorithm::SYNTH_SET.to_vec(),
+            schedulers,
             bound,
             threads: 0,
             filter_interesting: false,
         }
     }
 
-    /// The paper's TREES configuration (three algorithms, filtered) at the
+    /// The paper's SYNTH configuration (four strategies) at the given bound.
+    pub fn synth(bound: MemoryBound) -> Self {
+        ExperimentConfig::new(synth_schedulers(), bound)
+    }
+
+    /// The paper's TREES configuration (three strategies, filtered) at the
     /// given bound.
     pub fn trees(bound: MemoryBound) -> Self {
         ExperimentConfig {
-            algorithms: Algorithm::TREES_SET.to_vec(),
-            bound,
-            threads: 0,
             filter_interesting: true,
+            ..ExperimentConfig::new(trees_schedulers(), bound)
         }
+    }
+
+    /// The names of the configured strategies, in column order.
+    pub fn scheduler_names(&self) -> Vec<String> {
+        self.schedulers.iter().map(|s| s.name()).collect()
     }
 }
 
-/// Results of one algorithm set on one instance.
+impl std::fmt::Debug for ExperimentConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentConfig")
+            .field("schedulers", &self.scheduler_names())
+            .field("bound", &self.bound)
+            .field("threads", &self.threads)
+            .field("filter_interesting", &self.filter_interesting)
+            .finish()
+    }
+}
+
+/// Results of one strategy set on one instance.
 #[derive(Debug, Clone)]
 pub struct InstanceResult {
     /// Instance name.
@@ -66,14 +94,14 @@ pub struct InstanceResult {
     pub bounds: MemoryBounds,
     /// The concrete memory value used.
     pub memory: u64,
-    /// I/O volume of every algorithm, in the order of the configuration.
+    /// I/O volume of every strategy, in the order of the configuration.
     pub io_volumes: Vec<u64>,
-    /// Performance `(M + IO)/M` of every algorithm.
+    /// Performance `(M + IO)/M` of every strategy.
     pub performances: Vec<f64>,
 }
 
 impl InstanceResult {
-    /// `true` if at least two algorithms obtained different I/O volumes — the
+    /// `true` if at least two strategies obtained different I/O volumes — the
     /// restriction used in the right-hand plot of Figure 5.
     pub fn algorithms_differ(&self) -> bool {
         self.io_volumes.windows(2).any(|w| w[0] != w[1])
@@ -81,21 +109,54 @@ impl InstanceResult {
 }
 
 /// The collected results of an experiment.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExperimentResults {
-    /// The algorithms compared (column order of the per-instance vectors).
-    pub algorithms: Vec<Algorithm>,
+    /// The strategies compared (column order of the per-instance vectors).
+    pub schedulers: Vec<Arc<dyn Scheduler>>,
     /// The memory bound used.
     pub bound: MemoryBound,
     /// One entry per (kept) instance.
     pub results: Vec<InstanceResult>,
 }
 
+impl std::fmt::Debug for ExperimentResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentResults")
+            .field("schedulers", &self.scheduler_names())
+            .field("bound", &self.bound)
+            .field("results", &self.results)
+            .finish()
+    }
+}
+
+/// Quotes one CSV cell per RFC 4180: cells containing a comma, a double
+/// quote, or a line break are wrapped in double quotes, with inner quotes
+/// doubled. Plain cells are appended as-is.
+fn push_csv_cell(out: &mut String, cell: &str) {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
+    }
+}
+
 impl ExperimentResults {
+    /// The names of the compared strategies, in column order.
+    pub fn scheduler_names(&self) -> Vec<String> {
+        self.schedulers.iter().map(|s| s.name()).collect()
+    }
+
     /// Builds the Dolan–Moré performance profile of these results.
     pub fn profile(&self) -> PerformanceProfile {
-        let names = self.algorithms.iter().map(|a| a.name().to_string()).collect();
-        let mut perfs = vec![Vec::with_capacity(self.results.len()); self.algorithms.len()];
+        let names = self.scheduler_names();
+        let mut perfs = vec![Vec::with_capacity(self.results.len()); self.schedulers.len()];
         for r in &self.results {
             for (a, &p) in r.performances.iter().enumerate() {
                 perfs[a].push(p);
@@ -104,11 +165,12 @@ impl ExperimentResults {
         PerformanceProfile::from_performances(names, perfs)
     }
 
-    /// The subset of instances on which the algorithms do not all obtain the
-    /// same I/O volume (right-hand plots of Figures 5, 9, 11).
+    /// The subset of instances on which the strategies do not all obtain the
+    /// same I/O volume (right-hand plots of Figures 5, 9, 11). Column order
+    /// is preserved.
     pub fn restricted_to_differing(&self) -> ExperimentResults {
         ExperimentResults {
-            algorithms: self.algorithms.clone(),
+            schedulers: self.schedulers.clone(),
             bound: self.bound,
             results: self
                 .results
@@ -119,20 +181,36 @@ impl ExperimentResults {
         }
     }
 
-    /// Per-instance CSV (one row per instance, one I/O column per algorithm).
+    /// Per-instance CSV (one row per instance, one I/O column per strategy),
+    /// RFC-4180-quoted where needed.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("instance,nodes,lb,peak,memory");
-        for a in &self.algorithms {
-            out.push_str(&format!(",io_{}", a.name()));
+        let names = self.scheduler_names();
+        // Reserve once: header + per-row fixed cells (~20 digits of numbers
+        // and separators per cell) instead of reallocating per push.
+        let row_estimate: usize = self
+            .results
+            .iter()
+            .map(|r| r.name.len() + 8 * 12 + names.len() * 12)
+            .sum();
+        let header_estimate = 32 + names.iter().map(|n| n.len() + 4).sum::<usize>();
+        let mut out = String::with_capacity(header_estimate + row_estimate);
+        out.push_str("instance,nodes,lb,peak,memory");
+        for name in &names {
+            out.push(',');
+            // Quote the whole `io_<name>` cell: a quote opening after the
+            // `io_` prefix would be literal per RFC 4180.
+            push_csv_cell(&mut out, &format!("io_{name}"));
         }
         out.push('\n');
         for r in &self.results {
-            out.push_str(&format!(
-                "{},{},{},{},{}",
-                r.name, r.nodes, r.bounds.lower_bound, r.bounds.peak_incore, r.memory
-            ));
+            push_csv_cell(&mut out, &r.name);
+            let _ = write!(
+                out,
+                ",{},{},{},{}",
+                r.nodes, r.bounds.lower_bound, r.bounds.peak_incore, r.memory
+            );
             for io in &r.io_volumes {
-                out.push_str(&format!(",{io}"));
+                let _ = write!(out, ",{io}");
             }
             out.push('\n');
         }
@@ -140,9 +218,12 @@ impl ExperimentResults {
     }
 }
 
-/// Runs every algorithm of the configuration on every instance and collects
+/// Runs every strategy of the configuration on every instance and collects
 /// the results. Instance order is preserved.
-pub fn run_experiment(instances: &[(String, Tree)], config: &ExperimentConfig) -> ExperimentResults {
+pub fn run_experiment(
+    instances: &[(String, Tree)],
+    config: &ExperimentConfig,
+) -> ExperimentResults {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -175,7 +256,7 @@ pub fn run_experiment(instances: &[(String, Tree)], config: &ExperimentConfig) -
     });
 
     ExperimentResults {
-        algorithms: config.algorithms.clone(),
+        schedulers: config.schedulers.clone(),
         bound: config.bound,
         results: results.into_inner().into_iter().flatten().collect(),
     }
@@ -187,14 +268,14 @@ fn evaluate_instance(name: &str, tree: &Tree, config: &ExperimentConfig) -> Opti
         return None;
     }
     let memory = bounds.memory(config.bound);
-    let mut io_volumes = Vec::with_capacity(config.algorithms.len());
-    let mut performances = Vec::with_capacity(config.algorithms.len());
-    for algo in &config.algorithms {
-        let res = algo
-            .run(tree, memory)
+    let mut io_volumes = Vec::with_capacity(config.schedulers.len());
+    let mut performances = Vec::with_capacity(config.schedulers.len());
+    for scheduler in &config.schedulers {
+        let report = scheduler
+            .solve(tree, memory)
             .expect("memory bound is feasible by construction");
-        io_volumes.push(res.io_volume);
-        performances.push(performance(memory, res.io_volume));
+        io_volumes.push(report.io_volume);
+        performances.push(performance(memory, report.io_volume));
     }
     Some(InstanceResult {
         name: name.to_string(),
@@ -209,7 +290,8 @@ fn evaluate_instance(name: &str, tree: &Tree, config: &ExperimentConfig) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oocts_tree::TreeBuilder;
+    use oocts_core::scheduler::PostOrderMinIo;
+    use oocts_tree::{Schedule, TreeBuilder, TreeError};
 
     fn instance(seed: u64) -> (String, Tree) {
         // Small deterministic trees with varying weights.
@@ -226,10 +308,8 @@ mod tests {
     fn runner_covers_all_instances_in_order() {
         let instances: Vec<_> = (0..16).map(instance).collect();
         let config = ExperimentConfig {
-            algorithms: Algorithm::TREES_SET.to_vec(),
-            bound: MemoryBound::Middle,
             threads: 4,
-            filter_interesting: false,
+            ..ExperimentConfig::new(trees_schedulers(), MemoryBound::Middle)
         };
         let res = run_experiment(&instances, &config);
         assert_eq!(res.results.len(), 16);
@@ -238,7 +318,13 @@ mod tests {
             assert_eq!(r.io_volumes.len(), 3);
         }
         // Deterministic across runs (and thread counts).
-        let res1 = run_experiment(&instances, &ExperimentConfig { threads: 1, ..config.clone() });
+        let res1 = run_experiment(
+            &instances,
+            &ExperimentConfig {
+                threads: 1,
+                ..config.clone()
+            },
+        );
         for (a, b) in res.results.iter().zip(&res1.results) {
             assert_eq!(a.io_volumes, b.io_volumes);
         }
@@ -254,10 +340,9 @@ mod tests {
         let chain = ("chain".to_string(), b.build().unwrap());
         let interesting = instance(1);
         let config = ExperimentConfig {
-            algorithms: vec![Algorithm::PostOrderMinIo],
-            bound: MemoryBound::Middle,
             threads: 1,
             filter_interesting: true,
+            ..ExperimentConfig::new(vec![Arc::new(PostOrderMinIo)], MemoryBound::Middle)
         };
         let res = run_experiment(&[chain, interesting], &config);
         assert_eq!(res.results.len(), 1);
@@ -278,6 +363,119 @@ mod tests {
         let diff = res.restricted_to_differing();
         for r in &diff.results {
             assert!(r.algorithms_differ());
+        }
+    }
+
+    #[test]
+    fn csv_quotes_instance_names_per_rfc4180() {
+        let (_, tree) = instance(3);
+        let instances = vec![
+            ("plain".to_string(), tree.clone()),
+            ("with,comma".to_string(), tree.clone()),
+            ("with \"quotes\"".to_string(), tree.clone()),
+            ("both,\"of\",them".to_string(), tree),
+        ];
+        let config = ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::new(vec![Arc::new(PostOrderMinIo)], MemoryBound::Middle)
+        };
+        let csv = run_experiment(&instances, &config).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("plain,"));
+        assert!(lines[2].starts_with("\"with,comma\","));
+        assert!(lines[3].starts_with("\"with \"\"quotes\"\"\","));
+        assert!(lines[4].starts_with("\"both,\"\"of\"\",them\","));
+        // Every row still has the same number of (parsed) columns: a quoted
+        // cell counts as one even though it contains commas.
+        for line in &lines[1..] {
+            let mut cols = 0;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => cols += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cols, 5, "bad column count in {line:?}");
+        }
+    }
+
+    /// A user-defined scheduler: plain postorder, defined outside oocts-core.
+    #[derive(Debug)]
+    struct PlainPostorder;
+
+    impl Scheduler for PlainPostorder {
+        fn name(&self) -> String {
+            "PlainPostorder".to_string()
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            Ok(Schedule::postorder(tree))
+        }
+    }
+
+    /// A scheduler whose name needs quoting (any two-parameter spec renders
+    /// a `", "` in its canonical name).
+    #[derive(Debug)]
+    struct CommaName;
+
+    impl Scheduler for CommaName {
+        fn name(&self) -> String {
+            "Tuned(a=1, b=2)".to_string()
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            Ok(Schedule::postorder(tree))
+        }
+    }
+
+    #[test]
+    fn csv_quotes_whole_header_cells_for_comma_names() {
+        let instances = vec![instance(2)];
+        let config = ExperimentConfig {
+            threads: 1,
+            ..ExperimentConfig::new(vec![Arc::new(CommaName)], MemoryBound::Middle)
+        };
+        let csv = run_experiment(&instances, &config).to_csv();
+        let header = csv.lines().next().unwrap();
+        // The quote must open at the start of the cell, prefix included.
+        assert!(
+            header.ends_with(",\"io_Tuned(a=1, b=2)\""),
+            "bad header: {header}"
+        );
+    }
+
+    #[test]
+    fn custom_scheduler_flows_through_runner_profile_and_csv() {
+        let instances: Vec<_> = (0..6).map(instance).collect();
+        let mut config = ExperimentConfig::synth(MemoryBound::Middle);
+        config.schedulers.push(Arc::new(PlainPostorder));
+        let res = run_experiment(&instances, &config);
+        assert_eq!(res.scheduler_names().last().unwrap(), "PlainPostorder");
+        for r in &res.results {
+            assert_eq!(r.io_volumes.len(), 5);
+        }
+        let profile = res.profile();
+        assert!(profile.algorithms().contains(&"PlainPostorder".to_string()));
+        let csv = res.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",io_PlainPostorder"));
+    }
+
+    #[test]
+    fn restricted_to_differing_preserves_column_order() {
+        let instances: Vec<_> = (0..12).map(instance).collect();
+        let config = ExperimentConfig::synth(MemoryBound::LowerBound);
+        let res = run_experiment(&instances, &config);
+        let names = res.scheduler_names();
+        let diff = res.restricted_to_differing();
+        assert_eq!(diff.scheduler_names(), names, "column order must survive");
+        // Per-instance columns still line up with the (unchanged) headers.
+        for r in &diff.results {
+            let original = res.results.iter().find(|o| o.name == r.name).unwrap();
+            assert_eq!(r.io_volumes, original.io_volumes);
+            assert_eq!(r.performances, original.performances);
         }
     }
 }

@@ -165,7 +165,10 @@ mod tests {
         let amal = assembly_tree(&q, AssemblyOptions::default()).unwrap();
         assert_eq!(full.len(), 100);
         assert!(amal.len() < full.len());
-        assert!(amal.len() > 10, "amalgamation should not collapse everything");
+        assert!(
+            amal.len() > 10,
+            "amalgamation should not collapse everything"
+        );
     }
 
     #[test]
@@ -183,12 +186,12 @@ mod tests {
         let max_leaf_w = t.leaves().iter().map(|&l| t.weight(l)).max().unwrap();
         // The heaviest datum belongs to a top-separator column and dwarfs the
         // leaves.
-        assert!(max_w >= 100, "expected a heavy separator block, got {max_w}");
+        assert!(
+            max_w >= 100,
+            "expected a heavy separator block, got {max_w}"
+        );
         assert!(max_w > max_leaf_w);
-        let heaviest = t
-            .node_ids()
-            .max_by_key(|&n| t.weight(n))
-            .unwrap();
+        let heaviest = t.node_ids().max_by_key(|&n| t.weight(n)).unwrap();
         assert!(!t.is_leaf(heaviest));
         assert!(t.min_feasible_memory() >= max_w);
     }

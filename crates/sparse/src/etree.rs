@@ -89,10 +89,7 @@ mod tests {
         // Path graph 0-1-2-3-4: parent[i] = i + 1.
         let p = SymmetricPattern::from_edges(5, (0..4).map(|i| (i, i + 1)));
         let parent = elimination_tree(&p);
-        assert_eq!(
-            parent,
-            vec![Some(1), Some(2), Some(3), Some(4), None]
-        );
+        assert_eq!(parent, vec![Some(1), Some(2), Some(3), Some(4), None]);
         assert_eq!(forest_roots(&parent), 1);
         assert_eq!(etree_height(&parent), 4);
     }
@@ -121,10 +118,7 @@ mod tests {
     #[test]
     fn connected_patterns_give_single_root_under_any_ordering() {
         let g = grid_laplacian_2d(6, 5, false);
-        for perm in [
-            reverse_cuthill_mckee(&g),
-            nested_dissection_2d(6, 5),
-        ] {
+        for perm in [reverse_cuthill_mckee(&g), nested_dissection_2d(6, 5)] {
             let q = g.permute(&perm);
             let parent = elimination_tree(&q);
             assert_eq!(forest_roots(&parent), 1);

@@ -42,7 +42,10 @@ pub fn grid_laplacian_2d(nx: usize, ny: usize, nine_point: bool) -> SymmetricPat
 
 /// 7-point finite-difference Laplacian on an `nx × ny × nz` grid.
 pub fn grid_laplacian_3d(nx: usize, ny: usize, nz: usize) -> SymmetricPattern {
-    assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "grid dimensions must be positive"
+    );
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     let mut p = SymmetricPattern::new(nx * ny * nz);
     for z in 0..nz {

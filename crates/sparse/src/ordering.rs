@@ -96,7 +96,8 @@ fn bfs_farthest(pattern: &SymmetricPattern, start: usize) -> (usize, usize) {
         for &u in pattern.neighbors(v) {
             if dist[u] == usize::MAX {
                 dist[u] = dist[v] + 1;
-                if dist[u] > far.1 || (dist[u] == far.1 && pattern.degree(u) < pattern.degree(far.0))
+                if dist[u] > far.1
+                    || (dist[u] == far.1 && pattern.degree(u) < pattern.degree(far.0))
                 {
                     far = (u, dist[u]);
                 }
@@ -159,14 +160,7 @@ pub fn minimum_degree(pattern: &SymmetricPattern) -> Vec<usize> {
 pub fn nested_dissection_2d(nx: usize, ny: usize) -> Vec<usize> {
     let mut perm = Vec::with_capacity(nx * ny);
     // Recursion on sub-rectangles [x0, x1) × [y0, y1).
-    fn recurse(
-        nx: usize,
-        x0: usize,
-        x1: usize,
-        y0: usize,
-        y1: usize,
-        perm: &mut Vec<usize>,
-    ) {
+    fn recurse(nx: usize, x0: usize, x1: usize, y0: usize, y1: usize, perm: &mut Vec<usize>) {
         let w = x1 - x0;
         let h = y1 - y0;
         if w == 0 || h == 0 {

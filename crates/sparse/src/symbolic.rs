@@ -13,7 +13,11 @@ use crate::pattern::SymmetricPattern;
 /// `L` (including the diagonal), given the pattern and its elimination tree.
 pub fn column_counts(pattern: &SymmetricPattern, parent: &[Option<usize>]) -> Vec<u64> {
     let n = pattern.order();
-    assert_eq!(parent.len(), n, "elimination tree does not match the pattern");
+    assert_eq!(
+        parent.len(),
+        n,
+        "elimination tree does not match the pattern"
+    );
     let mut counts = vec![1u64; n]; // the diagonal entry
     let mut mark = vec![usize::MAX; n];
     for k in 0..n {

@@ -215,14 +215,7 @@ mod tests {
         let et = ex.tree();
         let mid = NodeId(4);
         let top = NodeId(5);
-        let order = Schedule::new(vec![
-            NodeId(2),
-            NodeId(1),
-            mid,
-            NodeId(3),
-            top,
-            NodeId(0),
-        ]);
+        let order = Schedule::new(vec![NodeId(2), NodeId(1), mid, NodeId(3), top, NodeId(0)]);
         order.validate(et).unwrap();
         let peak_after = peak_memory(et, &order).unwrap();
         assert_eq!(peak_after, 14);

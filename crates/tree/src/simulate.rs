@@ -154,11 +154,7 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
         // Units of the children currently evicted; they must be read back
         // before the node can execute. Reads are not counted as I/O but the
         // space they occupy is part of w̄_i.
-        let children_in_mem: u64 = tree
-            .children(node)
-            .iter()
-            .map(|&c| in_mem[c.index()])
-            .sum();
+        let children_in_mem: u64 = tree.children(node).iter().map(|&c| in_mem[c.index()]).sum();
         let others_resident = resident - children_in_mem;
 
         // Evict non-children active data, furthest-in-the-future first, until

@@ -10,11 +10,14 @@ use oocts_gen::paper;
 fn main() {
     println!("== Figure 2(a): the best postorder pays Θ(n·M), the optimum pays 1 ==\n");
     let m = 64;
-    println!("{:>7} {:>7} {:>14} {:>14}", "leaves", "nodes", "postorder I/O", "reference I/O");
+    println!(
+        "{:>7} {:>7} {:>14} {:>14}",
+        "leaves", "nodes", "postorder I/O", "reference I/O"
+    );
     for levels in [0usize, 4, 16, 64] {
         let (tree, reference) = paper::fig2a_family(levels, m);
         let reference_io = fif_io(&tree, &reference, m).unwrap().total_io;
-        let postorder = Algorithm::PostOrderMinIo.run(&tree, m).unwrap();
+        let postorder = PostOrderMinIo.solve(&tree, m).unwrap();
         println!(
             "{:>7} {:>7} {:>14} {:>14}",
             levels + 2,
@@ -25,11 +28,14 @@ fn main() {
     }
 
     println!("\n== Figure 2(c): OptMinMem pays k(k+1), the reference pays 2k ==\n");
-    println!("{:>5} {:>7} {:>6} {:>14} {:>14}", "k", "nodes", "M", "OptMinMem I/O", "reference I/O");
+    println!(
+        "{:>5} {:>7} {:>6} {:>14} {:>14}",
+        "k", "nodes", "M", "OptMinMem I/O", "reference I/O"
+    );
     for k in [4u64, 16, 64] {
         let (tree, reference, memory) = paper::fig2c_family(k);
         let reference_io = fif_io(&tree, &reference, memory).unwrap().total_io;
-        let mm = Algorithm::OptMinMem.run(&tree, memory).unwrap();
+        let mm = OptMinMem.solve(&tree, memory).unwrap();
         println!(
             "{:>5} {:>7} {:>6} {:>14} {:>14}",
             k,

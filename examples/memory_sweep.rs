@@ -27,14 +27,10 @@ fn main() {
         bounds.peak_incore
     );
 
-    let algorithms = [
-        Algorithm::PostOrderMinIo,
-        Algorithm::OptMinMem,
-        Algorithm::RecExpand,
-    ];
+    let schedulers = trees_schedulers();
     print!("{:>10} ", "M");
-    for a in algorithms {
-        print!("{:>16}", a.name());
+    for s in &schedulers {
+        print!("{:>16}", s.name());
     }
     println!();
 
@@ -44,9 +40,9 @@ fn main() {
     for step in 0..=10u64 {
         let memory = lb + (peak - lb) * step / 10;
         print!("{memory:>10} ");
-        for algo in algorithms {
-            let res = algo.run(&tree, memory).expect("feasible");
-            print!("{:>16}", res.io_volume);
+        for s in &schedulers {
+            let report = s.solve(&tree, memory).expect("feasible");
+            print!("{:>16}", report.io_volume);
         }
         println!();
     }

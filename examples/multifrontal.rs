@@ -51,13 +51,11 @@ fn main() {
         }
         let memory = bounds.memory(MemoryBound::Middle);
         println!("   out-of-core execution with M = {memory}:");
-        for algo in Algorithm::TREES_SET {
-            let res = algo.run(&tree, memory).expect("feasible");
+        for scheduler in trees_schedulers() {
+            let report = scheduler.solve(&tree, memory).expect("feasible");
             println!(
                 "   {:<18} {:>10} units of I/O   performance {:.4}",
-                algo.name(),
-                res.io_volume,
-                res.performance
+                report.scheduler, report.io_volume, report.performance
             );
         }
     }

@@ -40,18 +40,18 @@ fn main() {
     println!("\nout-of-core execution with M = {memory}:");
     let (_, optimal) = brute_force_min_io(&tree, memory).expect("feasible");
     println!("  optimal I/O volume (brute force): {optimal}");
-    for algo in Algorithm::ALL {
-        let result = algo.run(&tree, memory).expect("feasible memory bound");
+    for scheduler in builtin_schedulers() {
+        let report = scheduler
+            .solve(&tree, memory)
+            .expect("feasible memory bound");
         println!(
-            "  {:<18} {:>3} I/Os   performance {:.3}",
-            algo.name(),
-            result.io_volume,
-            result.performance
+            "  {:<22} {:>3} I/Os   performance {:.3}   scheduling {:?}",
+            report.scheduler, report.io_volume, report.performance, report.wall_time
         );
     }
 
     // Export the best schedule as an annotated DOT graph.
-    let best = Algorithm::FullRecExpand.run(&tree, memory).unwrap();
+    let best = FullRecExpand.solve(&tree, memory).unwrap();
     let io = fif_io(&tree, &best.schedule, memory).unwrap();
     let dot = to_dot_annotated(&tree, &best.schedule, Some(&io.tau));
     println!("\nGraphviz rendering of the FullRecExpand traversal:\n{dot}");

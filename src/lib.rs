@@ -10,14 +10,17 @@
 //!   out-of-core simulator ([`tree`]);
 //! * peak-memory minimizing traversals — Liu's optimal algorithm and the best
 //!   postorder ([`minmem`]);
-//! * the paper's I/O-minimizing algorithms — `PostOrderMinIO`,
-//!   `OptMinMem`+FiF, `RecExpand` and `FullRecExpand` — plus the homogeneous
-//!   tree theory and brute-force oracles ([`core`]);
+//! * the paper's I/O-minimizing strategies — `PostOrderMinIO`,
+//!   `OptMinMem`+FiF, `RecExpand` and `FullRecExpand` — behind the open
+//!   [`core::scheduler::Scheduler`] trait and its name-based
+//!   [`core::registry::SchedulerRegistry`], plus the homogeneous tree theory
+//!   and brute-force oracles ([`core`]);
 //! * a sparse-matrix multifrontal substrate producing realistic elimination /
 //!   assembly trees ([`sparse`]);
 //! * tree generators and the paper's datasets ([`gen`]);
 //! * the evaluation harness: performance metric, Dolan–Moré performance
-//!   profiles and a parallel experiment runner ([`profile`]).
+//!   profiles and a parallel experiment runner driving any `dyn Scheduler`
+//!   ([`profile`]).
 //!
 //! ## Quickstart
 //!
@@ -41,9 +44,16 @@
 //! let io = fif_io(&tree, &schedule, m).unwrap();
 //! assert!(io.total_io <= tree.total_weight());
 //!
-//! // The paper's heuristics usually do better than OptMinMem + FiF:
-//! let best = Algorithm::RecExpand.run(&tree, m).unwrap();
-//! assert!(best.io_volume <= io.total_io);
+//! // Every strategy implements the `Scheduler` trait; `solve` charges the
+//! // FiF I/O and reports it together with peak memory and wall-time. The
+//! // paper's heuristics usually do better than OptMinMem + FiF:
+//! let report = RecExpand::default().solve(&tree, m).unwrap();
+//! assert!(report.io_volume <= io.total_io);
+//!
+//! // Strategies — parameterized ones included — also resolve by name:
+//! let registry = SchedulerRegistry::with_builtins();
+//! let tuned = registry.get("RecExpand(max_rounds=4)").unwrap();
+//! assert!(tuned.solve(&tree, m).unwrap().io_volume <= io.total_io);
 //! ```
 
 pub use oocts_core as core;
@@ -55,12 +65,20 @@ pub use oocts_tree as tree;
 
 /// Convenient glob-import of the most used items of the workspace.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use oocts_core::algorithms::{Algorithm, AlgorithmResult};
     pub use oocts_core::homogeneous;
     pub use oocts_core::postorder::post_order_min_io;
     pub use oocts_core::recexpand::{full_rec_expand, rec_expand};
+    pub use oocts_core::registry::{SchedulerError, SchedulerRegistry, SchedulerSpec};
+    pub use oocts_core::scheduler::{
+        builtin_schedulers, synth_schedulers, trees_schedulers, ExpansionStats, FullRecExpand,
+        OptMinMem, PostOrderMinIo, PostOrderMinMem, RandomPostOrder, RecExpand, Scheduler,
+        SolveReport,
+    };
     pub use oocts_minmem::{opt_min_mem, post_order_min_mem};
     pub use oocts_profile::bounds::MemoryBounds;
     pub use oocts_profile::profile::PerformanceProfile;
+    pub use oocts_profile::runner::{run_experiment, ExperimentConfig, ExperimentResults};
     pub use oocts_tree::{fif_io, peak_memory, NodeId, Schedule, Tree, TreeBuilder};
 }

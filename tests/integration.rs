@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full pipelines of the paper, from
 //! instance generation (synthetic or multifrontal) through scheduling to the
-//! evaluation harness.
+//! evaluation harness, all driven through the `Scheduler` trait API.
+
+use std::sync::Arc;
 
 use oocts::prelude::*;
 use oocts_core::brute_force_min_io;
@@ -8,10 +10,9 @@ use oocts_gen::dataset::{synth_dataset, trees_dataset, DatasetConfig};
 use oocts_gen::paper;
 use oocts_gen::random_binary_tree;
 use oocts_profile::bounds::{MemoryBound, MemoryBounds};
-use oocts_profile::runner::{run_experiment, ExperimentConfig};
 use oocts_sparse::ordering::nested_dissection_2d;
 use oocts_sparse::{assembly_tree, grid_laplacian_2d, AssemblyOptions};
-use oocts_tree::fif_io;
+use oocts_tree::{fif_io, TreeError};
 
 /// The full multifrontal pipeline: matrix → ordering → assembly tree →
 /// out-of-core schedules, with the expected dominance relations.
@@ -28,20 +29,26 @@ fn multifrontal_pipeline_end_to_end() {
     let memory = bounds.memory(MemoryBound::Middle);
 
     let mut ios = Vec::new();
-    for algo in Algorithm::TREES_SET {
-        let res = algo.run(&tree, memory).unwrap();
-        res.schedule.validate(&tree).unwrap();
-        ios.push((algo, res.io_volume));
+    for scheduler in trees_schedulers() {
+        let report = scheduler.solve(&tree, memory).unwrap();
+        report.schedule.validate(&tree).unwrap();
+        ios.push((scheduler, report.io_volume));
     }
     // Every strategy is feasible, and the measured I/O is consistent with a
     // re-simulation of its schedule.
-    for (algo, io) in &ios {
-        let schedule = algo.schedule(&tree, memory).unwrap();
+    for (scheduler, io) in &ios {
+        let schedule = scheduler.schedule(&tree, memory).unwrap();
         assert_eq!(fif_io(&tree, &schedule, memory).unwrap().total_io, *io);
     }
     // At the in-core peak no strategy needs any I/O.
-    for algo in Algorithm::TREES_SET {
-        assert_eq!(algo.run(&tree, bounds.peak_incore).unwrap().io_volume, 0);
+    for scheduler in trees_schedulers() {
+        assert_eq!(
+            scheduler
+                .solve(&tree, bounds.peak_incore)
+                .unwrap()
+                .io_volume,
+            0
+        );
     }
 }
 
@@ -64,13 +71,7 @@ fn synth_experiment_end_to_end() {
     let profile = results.profile();
     // RecExpand and FullRecExpand should (essentially) never lose to
     // OptMinMem; allow no exception on this small deterministic set.
-    let idx = |name: &str| {
-        profile
-            .algorithms()
-            .iter()
-            .position(|a| a == name)
-            .unwrap()
-    };
+    let idx = |name: &str| profile.algorithms().iter().position(|a| a == name).unwrap();
     let re = idx("RecExpand");
     let mm = idx("OptMinMem");
     for r in &results.results {
@@ -103,9 +104,155 @@ fn trees_experiment_end_to_end() {
     for r in &results.results {
         assert!(r.bounds.peak_incore > r.bounds.lower_bound);
     }
-    // The restricted view only keeps instances where heuristics differ.
+    // The restricted view only keeps instances where heuristics differ, in
+    // the same column order.
     let differing = results.restricted_to_differing();
     assert!(differing.results.len() <= results.results.len());
+    assert_eq!(differing.scheduler_names(), results.scheduler_names());
+}
+
+/// A scheduler defined entirely outside `oocts-core` runs through
+/// `run_experiment`, appears in the performance profile and the CSV under
+/// its registered name, and its column tracks its own `solve` reports.
+#[test]
+fn user_defined_scheduler_end_to_end() {
+    /// Visits children heaviest-subtree-last; no relation to any built-in.
+    #[derive(Debug)]
+    struct HeaviestLast;
+
+    impl Scheduler for HeaviestLast {
+        fn name(&self) -> String {
+            "HeaviestLast".to_string()
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            fn subtree_weight(tree: &Tree, node: NodeId) -> u64 {
+                tree.weight(node)
+                    + tree
+                        .children(node)
+                        .iter()
+                        .map(|&c| subtree_weight(tree, c))
+                        .sum::<u64>()
+            }
+            fn emit(tree: &Tree, node: NodeId, order: &mut Vec<NodeId>) {
+                let mut children = tree.children(node).to_vec();
+                children.sort_by_key(|&c| subtree_weight(tree, c));
+                for c in children {
+                    emit(tree, c, order);
+                }
+                order.push(node);
+            }
+            let mut order = Vec::with_capacity(tree.len());
+            emit(tree, tree.root(), &mut order);
+            Ok(Schedule::new(order))
+        }
+    }
+
+    let mut registry = SchedulerRegistry::with_builtins();
+    registry.register(Arc::new(HeaviestLast)).unwrap();
+
+    let cfg = DatasetConfig {
+        synth_instances: 6,
+        synth_nodes: 300,
+        trees_scale: 1,
+        seed: 23,
+    };
+    let instances: Vec<_> = synth_dataset(&cfg)
+        .into_iter()
+        .map(|i| (i.name, i.tree))
+        .collect();
+
+    let schedulers: Vec<Arc<dyn Scheduler>> = ["RecExpand", "HeaviestLast"]
+        .iter()
+        .map(|n| registry.get(n).unwrap())
+        .collect();
+    let config = ExperimentConfig::new(schedulers, MemoryBound::Middle);
+    let results = run_experiment(&instances, &config);
+
+    assert_eq!(results.results.len(), instances.len());
+    assert_eq!(results.scheduler_names(), ["RecExpand", "HeaviestLast"]);
+
+    // The profile knows the custom strategy by its registered name.
+    let profile = results.profile();
+    let col = profile
+        .algorithms()
+        .iter()
+        .position(|a| a == "HeaviestLast")
+        .expect("custom scheduler in the profile");
+    assert!((profile.fraction_within(col, 1e9) - 1.0).abs() < 1e-12);
+
+    // So does the CSV header, and the column matches direct solve() calls.
+    let csv = results.to_csv();
+    assert!(csv.lines().next().unwrap().ends_with(",io_HeaviestLast"));
+    let custom = registry.get("HeaviestLast").unwrap();
+    for ((name, tree), row) in instances.iter().zip(&results.results) {
+        assert_eq!(&row.name, name);
+        let expected = custom.solve(tree, row.memory).unwrap().io_volume;
+        assert_eq!(row.io_volumes[1], expected);
+    }
+}
+
+/// Regression: the five pre-0.2 `Algorithm` strategies produce bit-identical
+/// I/O volumes through the trait API on the Figure 6 tree and a SYNTH
+/// sample. Expected values were captured by running the closed enum before
+/// the `Scheduler` redesign (PR 3).
+#[test]
+fn builtin_io_volumes_match_pre_refactor_enum() {
+    let registry = SchedulerRegistry::with_builtins();
+    let names = [
+        "PostOrderMinIO",
+        "OptMinMem",
+        "RecExpand",
+        "FullRecExpand",
+        "PostOrderMinMem",
+    ];
+    let solve_all = |tree: &Tree, memory: u64| -> Vec<u64> {
+        names
+            .iter()
+            .map(|n| {
+                registry
+                    .get(n)
+                    .unwrap()
+                    .solve(tree, memory)
+                    .unwrap()
+                    .io_volume
+            })
+            .collect()
+    };
+
+    assert_eq!(
+        solve_all(&paper::fig6(), paper::FIG6_MEMORY),
+        [4, 4, 3, 3, 4]
+    );
+
+    let cfg = DatasetConfig {
+        synth_instances: 4,
+        synth_nodes: 300,
+        trees_scale: 1,
+        seed: 2017,
+    };
+    let expected: [[u64; 5]; 4] = [
+        [145, 17, 17, 17, 259],
+        [150, 2, 2, 2, 156],
+        [166, 2, 2, 2, 179],
+        [134, 13, 13, 13, 134],
+    ];
+    for (inst, expected) in synth_dataset(&cfg).iter().zip(expected) {
+        let memory = MemoryBounds::of(&inst.tree).memory(MemoryBound::Middle);
+        assert_eq!(
+            solve_all(&inst.tree, memory),
+            expected,
+            "I/O volumes changed on {}",
+            inst.name
+        );
+    }
+
+    // The deprecated shim reports the very same volumes.
+    #[allow(deprecated)]
+    for (algo, expected) in Algorithm::ALL.iter().zip([4u64, 4, 3, 3, 4]) {
+        let res = algo.run(&paper::fig6(), paper::FIG6_MEMORY).unwrap();
+        assert_eq!(res.io_volume, expected, "{algo} shim drifted");
+    }
 }
 
 /// Paper examples reproduced through the public API (Appendix A).
@@ -115,16 +262,16 @@ fn appendix_examples_through_public_api() {
     let (_, opt6) = brute_force_min_io(&fig6, paper::FIG6_MEMORY).unwrap();
     assert_eq!(opt6, 3);
     assert_eq!(
-        Algorithm::FullRecExpand
-            .run(&fig6, paper::FIG6_MEMORY)
+        FullRecExpand
+            .solve(&fig6, paper::FIG6_MEMORY)
             .unwrap()
             .io_volume,
         3,
         "FullRecExpand is optimal on Figure 6"
     );
     assert_eq!(
-        Algorithm::OptMinMem
-            .run(&fig6, paper::FIG6_MEMORY)
+        OptMinMem
+            .solve(&fig6, paper::FIG6_MEMORY)
             .unwrap()
             .io_volume,
         4,
@@ -135,16 +282,16 @@ fn appendix_examples_through_public_api() {
     let (_, opt7) = brute_force_min_io(&fig7, paper::FIG7_MEMORY).unwrap();
     assert_eq!(opt7, 3);
     assert_eq!(
-        Algorithm::PostOrderMinIo
-            .run(&fig7, paper::FIG7_MEMORY)
+        PostOrderMinIo
+            .solve(&fig7, paper::FIG7_MEMORY)
             .unwrap()
             .io_volume,
         3,
         "PostOrderMinIO is optimal on Figure 7"
     );
     assert!(
-        Algorithm::FullRecExpand
-            .run(&fig7, paper::FIG7_MEMORY)
+        FullRecExpand
+            .solve(&fig7, paper::FIG7_MEMORY)
             .unwrap()
             .io_volume
             > 3,
@@ -164,7 +311,7 @@ fn counterexample_ratios_grow() {
         let (tree, reference) = paper::fig2a_family(levels, m);
         let reference_io = fif_io(&tree, &reference, m).unwrap().total_io;
         assert_eq!(reference_io, 1);
-        let po = Algorithm::PostOrderMinIo.run(&tree, m).unwrap().io_volume;
+        let po = PostOrderMinIo.solve(&tree, m).unwrap().io_volume;
         assert!(po > previous, "postorder I/O must keep growing");
         assert!(po >= (levels as u64 + 1) * (m / 2 - 1));
         previous = po;
@@ -175,7 +322,7 @@ fn counterexample_ratios_grow() {
         let (tree, reference, memory) = paper::fig2c_family(k);
         let reference_io = fif_io(&tree, &reference, memory).unwrap().total_io;
         assert_eq!(reference_io, 2 * k);
-        let mm = Algorithm::OptMinMem.run(&tree, memory).unwrap().io_volume;
+        let mm = OptMinMem.solve(&tree, memory).unwrap().io_volume;
         assert!(
             mm >= k * k / 2,
             "OptMinMem should pay Θ(k²) I/Os, got {mm} for k = {k}"
@@ -190,10 +337,11 @@ fn homogeneous_theorem4_through_public_api() {
         let tree = random_binary_tree(200, 1..=1, seed);
         let labels = homogeneous::labels(&tree, 3).unwrap();
         let w_t = labels.total_io();
-        let po = Algorithm::PostOrderMinIo.run(&tree, 3).unwrap().io_volume;
+        let po = PostOrderMinIo.solve(&tree, 3).unwrap().io_volume;
         assert_eq!(po, w_t, "PostOrderMinIO achieves W(T) on homogeneous trees");
-        for algo in [Algorithm::OptMinMem, Algorithm::RecExpand] {
-            assert!(algo.run(&tree, 3).unwrap().io_volume >= w_t);
+        let others: [Arc<dyn Scheduler>; 2] = [Arc::new(OptMinMem), Arc::new(RecExpand::default())];
+        for scheduler in others {
+            assert!(scheduler.solve(&tree, 3).unwrap().io_volume >= w_t);
         }
     }
 }
@@ -213,6 +361,10 @@ fn readme_quickstart() {
 
     let m = tree.min_feasible_memory();
     let io = fif_io(&tree, &schedule, m).unwrap();
-    let best = Algorithm::RecExpand.run(&tree, m).unwrap();
-    assert!(best.io_volume <= io.total_io);
+    let report = RecExpand::default().solve(&tree, m).unwrap();
+    assert!(report.io_volume <= io.total_io);
+
+    let registry = SchedulerRegistry::with_builtins();
+    let tuned = registry.get("RecExpand(max_rounds=4)").unwrap();
+    assert!(tuned.solve(&tree, m).unwrap().io_volume <= io.total_io);
 }
