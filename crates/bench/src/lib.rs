@@ -22,6 +22,7 @@
 //! block, ready to be pasted into EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -172,7 +173,8 @@ pub fn synth_figure(cli: &Cli, bound: MemoryBound, figure: &str) -> String {
             .retain(|s| s.name() != FullRecExpand.name());
     }
     config.threads = cli.threads;
-    let results = run_experiment(&instances, &config);
+    let results = run_experiment(&instances, &config)
+        .expect("paper memory bounds are feasible by construction");
     render_report(figure, &results, started)
 }
 
@@ -189,7 +191,8 @@ pub fn trees_figure(cli: &Cli, bound: MemoryBound, figure: &str) -> String {
         config.schedulers = schedulers.clone();
     }
     config.threads = cli.threads;
-    let results = run_experiment(&instances, &config);
+    let results = run_experiment(&instances, &config)
+        .expect("paper memory bounds are feasible by construction");
     let mut out = render_report(figure, &results, started);
     let differing = results.restricted_to_differing();
     out.push_str(&format!(

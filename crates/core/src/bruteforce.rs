@@ -63,6 +63,7 @@ fn explore(
     if current.len() == tree.len() {
         let schedule = Schedule::new(current.clone());
         let io = fif_io(tree, &schedule, memory)
+            // lint: allow(L001, min_io_brute_force verified feasibility before starting the search)
             .expect("feasibility was checked before the search")
             .total_io;
         if io < best.1 {
@@ -72,8 +73,7 @@ fn explore(
     }
     let candidates: Vec<NodeId> = ready.clone();
     for node in candidates {
-        let idx = ready.iter().position(|&x| x == node).unwrap();
-        ready.swap_remove(idx);
+        ready.retain(|&x| x != node);
         current.push(node);
         let mut parent_became_ready = false;
         if let Some(p) = tree.parent(node) {
@@ -88,8 +88,7 @@ fn explore(
 
         if let Some(p) = tree.parent(node) {
             if parent_became_ready {
-                let pos = ready.iter().position(|&x| x == p).unwrap();
-                ready.swap_remove(pos);
+                ready.retain(|&x| x != p);
             }
             missing[p.index()] += 1;
         }

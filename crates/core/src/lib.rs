@@ -42,7 +42,9 @@
 //!   exhaustive search (test oracle).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod algorithms;
 #[cfg(feature = "brute-force")]

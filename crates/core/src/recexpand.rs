@@ -107,8 +107,12 @@ pub fn rec_expand_with_limit(
             let io = fif_io(expanded.tree(), &schedule, memory)?;
             // Node with positive I/O whose parent is scheduled the latest.
             let positions = schedule.positions(expanded.tree());
-            let victim = pick_victim(expanded.tree(), &io.tau, &positions)
-                .expect("peak exceeds M, so the FiF policy must perform some I/O");
+            let Some(victim) = pick_victim(expanded.tree(), &io.tau, &positions) else {
+                // Unreachable: peak exceeds M, so the FiF policy must have
+                // performed some I/O; stop expanding rather than panic.
+                debug_assert!(false, "peak exceeds M but FiF reported no I/O");
+                break 'outer;
+            };
             let amount = io.tau[victim.index()];
             expanded.expand(victim, amount);
         }

@@ -251,39 +251,49 @@ impl SchedulerRegistry {
     /// `RandomPostOrder` (parameter `seed`, default 0).
     pub fn with_builtins() -> Self {
         let mut r = SchedulerRegistry::new();
-        r.register_factory("PostOrderMinIO", |spec| {
+        r.insert_factory("PostOrderMinIO", |spec| {
             spec.ensure_only(&[])?;
             Ok(Arc::new(PostOrderMinIo))
-        })
-        .expect("fresh registry");
-        r.register_factory("OptMinMem", |spec| {
+        });
+        r.insert_factory("OptMinMem", |spec| {
             spec.ensure_only(&[])?;
             Ok(Arc::new(OptMinMem))
-        })
-        .expect("fresh registry");
-        r.register_factory("RecExpand", |spec| {
+        });
+        r.insert_factory("RecExpand", |spec| {
             spec.ensure_only(&["max_rounds"])?;
             let max_rounds = spec.int_param("max_rounds", RecExpand::PAPER_ROUNDS)?;
             Ok(Arc::new(RecExpand { max_rounds }))
-        })
-        .expect("fresh registry");
-        r.register_factory("FullRecExpand", |spec| {
+        });
+        r.insert_factory("FullRecExpand", |spec| {
             spec.ensure_only(&[])?;
             Ok(Arc::new(FullRecExpand))
-        })
-        .expect("fresh registry");
-        r.register_factory("PostOrderMinMem", |spec| {
+        });
+        r.insert_factory("PostOrderMinMem", |spec| {
             spec.ensure_only(&[])?;
             Ok(Arc::new(PostOrderMinMem))
-        })
-        .expect("fresh registry");
-        r.register_factory("RandomPostOrder", |spec| {
+        });
+        r.insert_factory("RandomPostOrder", |spec| {
             spec.ensure_only(&["seed"])?;
             let seed = spec.int_param("seed", 0u64)?;
             Ok(Arc::new(RandomPostOrder { seed }))
-        })
-        .expect("fresh registry");
+        });
         r
+    }
+
+    // Infallible insertion for the builtin table: last registration wins,
+    // so it needs no duplicate check and no Result.
+    fn insert_factory(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&SchedulerSpec) -> Result<Arc<dyn Scheduler>, SchedulerError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.entries.insert(
+            name.to_ascii_lowercase(),
+            (name.to_string(), Box::new(factory)),
+        );
     }
 
     /// Registers a fixed strategy instance under (the base name of) its own
@@ -477,6 +487,48 @@ mod tests {
             registry.get("RecExpand(max_rounds=lots)"),
             Err(SchedulerError::BadParameter { .. })
         ));
+    }
+
+    #[test]
+    fn spec_error_paths_reject_out_of_range_and_malformed_values() {
+        let registry = SchedulerRegistry::with_builtins();
+        // Out-of-range / untypeable parameter values: the spec parses but the
+        // factory's typed `int_param` rejects the value.
+        for bad in [
+            "RecExpand(max_rounds=-1)",
+            "RecExpand(max_rounds=2.5)",
+            "RecExpand(max_rounds=99999999999999999999999)",
+            "RandomPostOrder(seed=-5)",
+        ] {
+            assert!(
+                matches!(registry.get(bad), Err(SchedulerError::BadParameter { .. })),
+                "{bad:?} must be rejected as a bad parameter value"
+            );
+        }
+        // Malformed parameter lists fail already at parse time.
+        for bad in [
+            "RecExpand(max_rounds=5",
+            "Rec()trailing",
+            "Re)c(",
+            ",",
+            "x(y=1,=2)",
+        ] {
+            assert!(
+                matches!(
+                    bad.parse::<SchedulerSpec>(),
+                    Err(SchedulerError::MalformedSpec { .. })
+                ),
+                "{bad:?} must be rejected as malformed"
+            );
+        }
+        // Errors render the offending spec for the user.
+        let err = match registry.get("NoSuchThing") {
+            Err(e) => e,
+            Ok(_) => panic!("NoSuchThing must not resolve"),
+        };
+        assert!(err.to_string().contains("NoSuchThing"));
+        let err = "Rec(".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("Rec("));
     }
 
     #[test]

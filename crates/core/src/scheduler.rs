@@ -60,7 +60,11 @@ pub trait Scheduler: Send + Sync {
         let wall_time = started.elapsed();
         let io = fif_io(tree, &schedule, memory)?;
         let peak = peak_memory(tree, &schedule)?;
-        Ok(SolveReport {
+        debug_assert_eq!(
+            peak, io.peak_in_core,
+            "the schedule's memory profile and the simulator disagree on the in-core peak"
+        );
+        let report = SolveReport {
             scheduler: self.name(),
             io_volume: io.total_io,
             performance: io.performance(memory),
@@ -68,7 +72,16 @@ pub trait Scheduler: Send + Sync {
             expansion,
             wall_time,
             schedule,
-        })
+        };
+        // Invariant layer: in debug builds, every solve re-checks its own
+        // report (full coverage, valid schedule, consistent peak).
+        debug_assert!(
+            report.validate(tree).is_ok(),
+            "scheduler {} produced an inconsistent report: {:?}",
+            report.scheduler,
+            report.validate(tree)
+        );
+        Ok(report)
     }
 }
 
@@ -102,6 +115,37 @@ pub struct SolveReport {
     pub wall_time: Duration,
     /// The schedule itself.
     pub schedule: Schedule,
+}
+
+impl SolveReport {
+    /// Checks this report against the instance it was produced for: the
+    /// tree is well-formed, the schedule is a valid order that executes
+    /// *every* node exactly once, and the reported in-core peak matches a
+    /// recomputation from the schedule.
+    ///
+    /// [`Scheduler::solve`] runs this via `debug_assert!` on every call, so
+    /// each existing test doubles as an invariant test; call it directly to
+    /// check reports crossing a trust boundary in release builds too.
+    pub fn validate(&self, tree: &Tree) -> Result<(), TreeError> {
+        tree.validate()?;
+        self.schedule.validate(tree)?;
+        if self.schedule.len() != tree.len() {
+            return Err(TreeError::ReportMismatch {
+                field: "scheduled node count",
+                reported: self.schedule.len() as u64,
+                actual: tree.len() as u64,
+            });
+        }
+        let peak = peak_memory(tree, &self.schedule)?;
+        if peak != self.peak_memory {
+            return Err(TreeError::ReportMismatch {
+                field: "in-core peak memory",
+                reported: self.peak_memory,
+                actual: peak,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Best postorder for I/O volume (Section 4.1; Agullo).

@@ -14,7 +14,9 @@
 //!   substituting for the University of Florida collection).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod dataset;
 pub mod paper;

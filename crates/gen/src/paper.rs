@@ -13,6 +13,15 @@
 
 use oocts_tree::{NodeId, Schedule, Tree, TreeBuilder};
 
+/// Finalizes a statically-constructed example tree.
+///
+/// The figure builders above are straight-line `add_root`/`add_child`
+/// sequences producing a fixed shape; `build()` cannot fail on them.
+fn finish(b: TreeBuilder, what: &str) -> Tree {
+    // lint: allow(L001, straight-line TreeBuilder construction always forms a tree)
+    b.build().expect(what)
+}
+
 /// The memory bound used by the Figure 6 example.
 pub const FIG6_MEMORY: u64 = 10;
 /// The memory bound used by the Figure 7 example.
@@ -62,14 +71,14 @@ pub fn fig2a_family(extra_levels: usize, m: u64) -> (Tree, Schedule) {
     }
     // Bottom gadget below the last spine node: two children of weight m/2,
     // each over a weight-1 node over a leaf of weight m.
-    let bottom = *spine.last().unwrap();
+    let bottom = spine[spine.len() - 1];
     let cap_a = b.add_child(bottom, half);
     let one_a = b.add_child(cap_a, 1);
     let leaf_a = b.add_child(one_a, m);
     let cap_b = b.add_child(bottom, half);
     let one_b = b.add_child(cap_b, 1);
     let leaf_b = b.add_child(one_b, m);
-    let tree = b.build().expect("figure 2(a) construction is a tree");
+    let tree = finish(b, "figure 2(a) construction is a tree");
 
     // Reference schedule (the labels of the figure): process the two bottom
     // leaves first (1 I/O when the second one is produced), close the bottom
@@ -113,7 +122,7 @@ pub fn fig2b() -> Tree {
             parent = b.add_child(parent, w);
         }
     }
-    b.build().expect("figure 2(b) is a tree")
+    finish(b, "figure 2(b) is a tree")
 }
 
 /// The memory bound of the Figure 2(b) example.
@@ -149,7 +158,7 @@ pub fn fig2c_family(k: u64) -> (Tree, Schedule, u64) {
         }
         chain_nodes.push(nodes);
     }
-    let tree = b.build().expect("figure 2(c) is a tree");
+    let tree = finish(b, "figure 2(c) is a tree");
 
     // Reference schedule: first chain bottom-up, then second chain, then root.
     let mut order = Vec::with_capacity(tree.len());
@@ -176,7 +185,7 @@ pub fn fig6() -> Tree {
     let r1 = b.add_child(root, 6);
     let r2 = b.add_child(r1, 4);
     b.add_child(r2, 10);
-    b.build().expect("figure 6 is a tree")
+    finish(b, "figure 6 is a tree")
 }
 
 /// Figure 7 (Appendix A): PostOrderMinIO is optimal (3 I/Os at `M = 7`)
@@ -190,7 +199,7 @@ pub fn fig7() -> Tree {
     b.add_child(c, 3);
     let bn = b.add_child(root, 4);
     b.add_child(bn, 7);
-    b.build().expect("figure 7 is a tree")
+    finish(b, "figure 7 is a tree")
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub fn random_binary_tree(n: usize, weights: std::ops::RangeInclusive<u64>, seed
         children[internal] = Some(kids);
         match parent[x] {
             Some((p, s)) => {
+                // lint: allow(L001, x has a recorded parent slot, so that parent is internal)
                 children[p].as_mut().expect("parent is internal")[s] = internal;
                 parent[internal] = Some((p, s));
             }
@@ -77,7 +78,17 @@ pub fn random_binary_tree(n: usize, weights: std::ops::RangeInclusive<u64>, seed
     }
     let _ = root;
     let w = random_weights(n, weights, &mut rng);
-    Tree::from_parents(&w, &parents).expect("Rémy construction always yields a tree")
+    from_parents_infallible(&w, &parents, "Rémy construction always yields a tree")
+}
+
+/// Finalizes a generator's parent array into a [`Tree`].
+///
+/// Every generator in this module builds `parents` with node 0 (or the
+/// tracked root) as the single parentless node and links that only point at
+/// already-created nodes, so the conversion cannot fail.
+fn from_parents_infallible(weights: &[u64], parents: &[Option<usize>], what: &str) -> Tree {
+    // lint: allow(L001, generators build a single-rooted acyclic parent array by construction)
+    Tree::from_parents(weights, parents).expect(what)
 }
 
 /// Draws `n` weights uniformly from the inclusive range.
@@ -104,7 +115,7 @@ pub fn uniform_attachment_tree(
         *parent = Some(rng.random_range(0..i));
     }
     let w = random_weights(n, weights, &mut rng);
-    Tree::from_parents(&w, &parents).expect("uniform attachment always yields a tree")
+    from_parents_infallible(&w, &parents, "uniform attachment always yields a tree")
 }
 
 /// A chain (path) of `n` nodes with the given weights, leaf first in the
@@ -119,7 +130,7 @@ pub fn chain(weights_leaf_to_root: &[u64]) -> Tree {
         w.push(weight);
         parents.push(if i == 0 { None } else { Some(i - 1) });
     }
-    Tree::from_parents(&w, &parents).expect("chain is a tree")
+    from_parents_infallible(&w, &parents, "chain is a tree")
 }
 
 /// A complete `k`-ary tree of the given height with constant node weight.
@@ -140,7 +151,7 @@ pub fn complete_kary(arity: usize, height: usize, weight: u64) -> Tree {
         }
         frontier = next;
     }
-    Tree::from_parents(&weights, &parents).expect("complete k-ary tree")
+    from_parents_infallible(&weights, &parents, "complete k-ary tree")
 }
 
 /// A caterpillar: a spine of `spine` nodes, each carrying `legs` leaf
@@ -161,7 +172,7 @@ pub fn caterpillar(spine: usize, legs: usize, spine_weight: u64, leaf_weight: u6
         prev = Some(id);
     }
     // `prev` chain built root-first: node 0 is the root.
-    Tree::from_parents(&weights, &parents).expect("caterpillar is a tree")
+    from_parents_infallible(&weights, &parents, "caterpillar is a tree")
 }
 
 /// Returns the number of children of every node — handy for shape statistics
@@ -191,6 +202,7 @@ pub fn deepest_leaf(tree: &Tree) -> NodeId {
     tree.leaves()
         .into_iter()
         .max_by_key(|&l| tree.depth(l))
+        // lint: allow(L001, a Tree is non-empty by construction and so has a leaf)
         .expect("every tree has a leaf")
 }
 

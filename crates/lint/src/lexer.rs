@@ -1,0 +1,341 @@
+//! A small comment- and string-aware scanner for Rust sources.
+//!
+//! The linter does not need a full parser: every rule works on *code text*
+//! with comments and literal contents blanked out, plus the extracted comment
+//! text (where waivers and `no_alloc` annotations live). The scanner handles
+//! line comments (`//`, `///`, `//!`), nested block comments (`/* … */`),
+//! string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any number of
+//! `#`), byte strings, and char literals (distinguished from lifetimes).
+
+/// One scanned source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The line with comments and the *contents* of string/char literals
+    /// replaced by spaces (the delimiting quotes are kept, so code structure
+    /// like `f("x")` stays recognisable as a call).
+    pub code: String,
+    /// The concatenated comment text of the line (without the `//`, `/*`,
+    /// `*/` markers), if any.
+    pub comment: Option<String>,
+}
+
+/// A scanned file: per-line code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The scanned lines, in file order (line `n` is `lines[n - 1]`).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `/* … */`; the payload is the nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string with `n` hashes (`r##"…"##`).
+    RawStr(u32),
+}
+
+impl Lexed {
+    /// The ranges of lines (1-based, inclusive) covered by `#[cfg(test)]`
+    /// items — test modules and test functions — which most rules exempt.
+    pub fn test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let n = self.lines.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.lines[i].code.contains("#[cfg(test)]") {
+                // The guarded item starts at the first following line with
+                // code (possibly this same line); it ends at the matching
+                // close of the first `{` — or at the first `;` if the item
+                // has no body (e.g. a guarded `use`).
+                let start = i;
+                let mut depth = 0i64;
+                let mut opened = false;
+                let mut j = i;
+                'scan: while j < n {
+                    for c in self.lines[j].code.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => {
+                                depth -= 1;
+                                if opened && depth == 0 {
+                                    break 'scan;
+                                }
+                            }
+                            ';' if !opened => break 'scan,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                regions.push((start + 1, j.min(n - 1) + 1));
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        regions
+    }
+}
+
+/// `true` if the 1-based `line` falls inside any of the `regions`.
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Scans `source` into per-line code/comment channels.
+pub fn lex(source: &str) -> Lexed {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in source.split('\n') {
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. doc comments): the rest of the
+                        // line is comment text.
+                        let text: String = chars[i..].iter().collect();
+                        let text = text
+                            .trim_start_matches('/')
+                            .trim_start_matches('!')
+                            .trim_start();
+                        comment.push_str(text);
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    'r' | 'b' => {
+                        // Possible raw (byte) string: r"…", r#"…"#, br"…".
+                        if let Some((hashes, len)) = raw_string_open(&chars[i..]) {
+                            state = State::RawStr(hashes);
+                            code.push('"');
+                            for _ in 0..len.saturating_sub(1) {
+                                code.push(' ');
+                            }
+                            i += len;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes within a
+                        // few chars (`'a'`, `'\n'`, `'\u{1F600}'`).
+                        if let Some(len) = char_literal_len(&chars[i..]) {
+                            code.push('\'');
+                            for _ in 0..len.saturating_sub(2) {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += len;
+                            continue;
+                        }
+                        code.push('\'');
+                    }
+                    c => code.push(c),
+                },
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::Block(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars[i..], hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+            }
+            i += 1;
+        }
+        // An unterminated normal string cannot span lines in valid Rust
+        // unless the line ends with a continuation backslash; be forgiving
+        // and keep the state (multi-line strings are common).
+        lines.push(Line {
+            code,
+            comment: if comment.trim().is_empty() {
+                None
+            } else {
+                Some(comment.trim().to_string())
+            },
+        });
+    }
+    Lexed { lines }
+}
+
+/// If `chars` starts a raw (byte) string opener, returns
+/// `(hash_count, opener_length)`.
+fn raw_string_open(chars: &[char]) -> Option<(u32, usize)> {
+    let mut i = 0usize;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some((hashes, i + 1))
+    } else {
+        None
+    }
+}
+
+/// `true` if `chars` (starting at a `"`) closes a raw string with `hashes`
+/// trailing `#`s.
+fn closes_raw(chars: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// If `chars` (starting at a `'`) is a char literal, returns its length in
+/// chars; `None` for lifetimes.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    match chars.get(1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote within a small window
+            // (`'\u{10FFFF}'` is the longest escape).
+            (2..12.min(chars.len()))
+                .find(|&k| chars[k] == '\'')
+                .map(|k| k + 1)
+        }
+        Some(_) if chars.get(2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lexed = lex("let x = 1; // trailing panic!()\n/// doc unwrap()\nlet y = 2;");
+        assert_eq!(lexed.lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lexed.lines[0].comment.as_deref(), Some("trailing panic!()"));
+        assert!(!lexed.lines[1].code.contains("unwrap"));
+        assert_eq!(lexed.lines[1].comment.as_deref(), Some("doc unwrap()"));
+        assert_eq!(lexed.lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let lexed = lex(r#"let s = "panic!()"; s.len();"#);
+        assert!(!lexed.lines[0].code.contains("panic"));
+        assert!(lexed.lines[0].code.contains("\"        \""));
+        assert!(lexed.lines[0].code.contains("s.len();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a\"unwrap()\"b"; t.unwrap();"#);
+        let code = &lexed.lines[0].code;
+        assert_eq!(code.matches(".unwrap()").count(), 1, "{code:?}");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lexed = lex("let s = r#\"has \"quotes\" and panic!()\"#; x.todo();");
+        let code = &lexed.lines[0].code;
+        assert!(!code.contains("panic"));
+        assert!(code.contains("x.todo();"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lexed = lex("a; /* one /* two */ still */ b;\n/* open\n unwrap() \n*/ c;");
+        assert!(lexed.lines[0].code.contains("a;"));
+        assert!(lexed.lines[0].code.contains("b;"));
+        assert!(!lexed.lines[2].code.contains("unwrap"));
+        assert!(lexed.lines[3].code.contains("c;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a char) { let c = '\\''; let d = 'x'; }");
+        let code = &lexed.lines[0].code;
+        assert!(code.contains("<'a>"));
+        assert!(code.contains("&'a char"));
+        // Literal contents blanked, quotes kept.
+        assert!(!code.contains("'x'"));
+    }
+
+    #[test]
+    fn test_regions_cover_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn b() {}";
+        let lexed = lex(src);
+        let regions = lexed.test_regions();
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn test_region_without_body_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_regions(), vec![(1, 2)]);
+    }
+}

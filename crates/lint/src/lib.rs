@@ -1,0 +1,87 @@
+//! # oocts-lint — workspace-specific static analysis
+//!
+//! The OOCTS workspace has rules that `rustc` and `clippy` cannot express:
+//!
+//! * **L001** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
+//!   *library* code of the algorithmic crates (`core`, `tree`, `minmem`,
+//!   `profile`, `sparse`, `gen`). Tests, binaries, examples and benches are
+//!   exempt; provably-infallible sites carry an explicit waiver.
+//! * **L002** — offline deps: every dependency of every member manifest must
+//!   resolve to a `path` (the `vendor/` stubs or a workspace crate), never to
+//!   crates.io or git.
+//! * **L003** — functions annotated `// lint: no_alloc` must not call
+//!   allocating APIs; this seeds the guardrail for the zero-alloc hot paths.
+//! * **L004** — registry completeness: every `impl Scheduler for` type in
+//!   library code must be constructed in `SchedulerRegistry::with_builtins`
+//!   (or carry a waiver), so no strategy silently falls out of the name-based
+//!   lookup used by the figure binaries.
+//! * **L005** — crate headers: each member crate's `lib.rs` carries the
+//!   agreed preamble (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`).
+//!
+//! Violations are waived in place with
+//! `// lint: allow(RULE, free-text reason)` — a waiver without a reason is
+//! itself a diagnostic. The scanner is comment- and string-aware (a
+//! `panic!` inside a doc comment or a string literal never fires) and skips
+//! `#[cfg(test)]` regions.
+//!
+//! The `oocts-lint` binary scans the workspace rooted at `--root` (default:
+//! the ancestor of the current directory that holds the workspace manifest),
+//! prints human-readable or `--json` diagnostics, and exits nonzero when any
+//! diagnostic is produced.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+pub mod workspace;
+
+use std::path::Path;
+
+use diagnostics::Diagnostic;
+use workspace::Workspace;
+
+/// The rule identifiers known to the linter, in report order.
+pub const ALL_RULES: [&str; 5] = ["L001", "L002", "L003", "L004", "L005"];
+
+/// Scans the workspace rooted at `root` with every rule (or the subset named
+/// in `only`) and returns the diagnostics, sorted by file and line.
+///
+/// `root` must contain the workspace `Cargo.toml`.
+pub fn run_lint(root: &Path, only: &[String]) -> Result<Vec<Diagnostic>, String> {
+    let ws = Workspace::load(root)?;
+    let mut diagnostics = Vec::new();
+    for rule in rules::all_rules() {
+        if !only.is_empty() && !only.iter().any(|r| r.eq_ignore_ascii_case(rule.id())) {
+            continue;
+        }
+        rule.check(&ws, &mut diagnostics);
+    }
+    // Waivers that name an unknown rule are reported as diagnostics too:
+    // a typo in a waiver must not silently disable nothing.
+    for file in &ws.files {
+        for w in &file.waivers {
+            if w.rule != "no_alloc" && !ALL_RULES.contains(&w.rule.as_str()) {
+                diagnostics.push(Diagnostic::new(
+                    "W000",
+                    file.rel_path.clone(),
+                    w.line,
+                    format!("waiver names unknown rule {:?}", w.rule),
+                ));
+            }
+            if w.rule != "no_alloc" && w.reason.trim().is_empty() {
+                diagnostics.push(Diagnostic::new(
+                    "W000",
+                    file.rel_path.clone(),
+                    w.line,
+                    format!("waiver for {} carries no reason", w.rule),
+                ));
+            }
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(diagnostics)
+}

@@ -1,0 +1,108 @@
+//! The `oocts-lint` binary: scan the workspace, print diagnostics, exit
+//! nonzero on violations.
+//!
+//! ```text
+//! oocts-lint [--root PATH] [--json] [--rules L001,L004] [--list]
+//! ```
+//!
+//! Exit codes: 0 — clean, 1 — violations found, 2 — usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oocts_lint::diagnostics::{render_human, render_json};
+use oocts_lint::{rules, run_lint};
+
+const USAGE: &str = "usage: oocts-lint [--root PATH] [--json] [--rules L001,L002,...] [--list]
+
+  --root PATH   workspace root (default: nearest ancestor with a workspace manifest)
+  --json        machine-readable output
+  --rules LIST  comma-separated subset of rules to run
+  --list        print the rule set and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--json" => json = true,
+            "--rules" => match args.next() {
+                Some(list) => {
+                    only.extend(list.split(',').map(|r| r.trim().to_uppercase()));
+                }
+                None => return usage_error("--rules needs a comma-separated list"),
+            },
+            "--list" => {
+                for rule in rules::all_rules() {
+                    println!("{}  {}", rule.id(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("oocts-lint: no workspace manifest found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    match run_lint(&root, &only) {
+        Ok(diagnostics) => {
+            if json {
+                println!("{}", render_json(&diagnostics));
+            } else {
+                print!("{}", render_human(&diagnostics));
+            }
+            if diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("oocts-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The nearest ancestor of the current directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(toml) = std::fs::read_to_string(&manifest) {
+                if toml.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("oocts-lint: {message}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

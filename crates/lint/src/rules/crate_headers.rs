@@ -1,0 +1,130 @@
+//! L005: every member crate's `lib.rs` carries the agreed preamble.
+//!
+//! The workspace-wide guarantees — no `unsafe`, every public item
+//! documented — are enforced per-crate by `#![forbid(unsafe_code)]` and
+//! `#![deny(missing_docs)]`; a crate that drops either attribute silently
+//! weakens them. A file-level `// lint: allow(L005, reason)` waives the
+//! requirement for a crate.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+use super::Rule;
+
+/// The attributes every `lib.rs` must carry.
+const REQUIRED: [&str; 2] = ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"];
+
+/// The L005 rule object.
+pub struct CrateHeaders;
+
+impl Rule for CrateHeaders {
+    fn id(&self) -> &'static str {
+        "L005"
+    }
+
+    fn describe(&self) -> &'static str {
+        "each member lib.rs carries #![forbid(unsafe_code)] and #![deny(missing_docs)]"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for member in &ws.members {
+            if !member.has_lib {
+                continue;
+            }
+            let lib_rel = if member.rel_dir == "." {
+                "src/lib.rs".to_string()
+            } else {
+                format!("{}/src/lib.rs", member.rel_dir)
+            };
+            let Some(file) = ws.files.iter().find(|f| f.rel_path == lib_rel) else {
+                continue;
+            };
+            if file.waivers.iter().any(|w| w.rule == "L005") {
+                continue;
+            }
+            for attr in REQUIRED {
+                let present = file
+                    .lexed
+                    .lines
+                    .iter()
+                    .any(|l| l.code.replace(' ', "").contains(&attr.replace(' ', "")));
+                if !present {
+                    out.push(Diagnostic::new(
+                        "L005",
+                        lib_rel.clone(),
+                        1,
+                        format!("crate `{}` is missing `{attr}`", member.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::{FileKind, Member, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws_with(lib_src: &str) -> Workspace {
+        let lexed = lexer::lex(lib_src);
+        let waivers = waiver::parse_waivers(&lexed);
+        let test_regions = lexed.test_regions();
+        Workspace {
+            root: PathBuf::new(),
+            members: vec![Member {
+                name: "oocts-x".to_string(),
+                rel_dir: "crates/x".to_string(),
+                has_lib: true,
+            }],
+            manifests: Vec::new(),
+            files: vec![SourceFile {
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                crate_name: "oocts-x".to_string(),
+                kind: FileKind::Lib,
+                lexed,
+                waivers,
+                test_regions,
+            }],
+        }
+    }
+
+    fn run(lib_src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        CrateHeaders.check(&ws_with(lib_src), &mut out);
+        out
+    }
+
+    #[test]
+    fn full_preamble_passes() {
+        assert!(run("//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n").is_empty());
+    }
+
+    #[test]
+    fn each_missing_attribute_fires() {
+        let out = run("//! Docs.\n#![forbid(unsafe_code)]\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("missing_docs"));
+        assert_eq!(run("//! Docs.\n").len(), 2);
+    }
+
+    #[test]
+    fn warn_is_not_deny() {
+        let out = run("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn attribute_in_a_comment_does_not_count() {
+        let out = run("// #![forbid(unsafe_code)]\n// #![deny(missing_docs)]\n");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn file_level_waiver_passes() {
+        assert!(run("// lint: allow(L005, prototype crate)\nfn f() {}\n").is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! The rule set. Each rule is a module with fixture-based self-tests; the
+//! driver runs them all (or a `--rules` subset) over the scanned workspace.
+
+pub mod crate_headers;
+pub mod no_alloc;
+pub mod no_panics;
+pub mod offline_deps;
+pub mod registry_complete;
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable identifier (`"L001"` … `"L005"`).
+    fn id(&self) -> &'static str;
+    /// One-line description, shown by `--list`.
+    fn describe(&self) -> &'static str;
+    /// Appends this rule's findings on `ws` to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// All rules, in identifier order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(no_panics::NoPanics),
+        Box::new(offline_deps::OfflineDeps),
+        Box::new(no_alloc::NoAlloc),
+        Box::new(registry_complete::RegistryComplete),
+        Box::new(crate_headers::CrateHeaders),
+    ]
+}
+
+/// The body line range (1-based, inclusive) of the item starting at
+/// `start_line`: from the first `{` at or after `start_line` to its
+/// matching `}`. Returns `None` when no body opens within `lookahead`
+/// lines.
+pub(crate) fn body_range(
+    lexed: &crate::lexer::Lexed,
+    start_line: usize,
+    lookahead: usize,
+) -> Option<(usize, usize)> {
+    let n = lexed.lines.len();
+    let first = start_line.saturating_sub(1);
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (off, l) in lexed.lines[first..n].iter().enumerate() {
+        if !opened && off > lookahead {
+            return None;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((start_line, first + off + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    opened.then_some((start_line, n))
+}

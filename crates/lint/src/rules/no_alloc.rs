@@ -1,0 +1,160 @@
+//! L003: functions annotated `// lint: no_alloc` must not allocate.
+//!
+//! This seeds the guardrail for the flat-arena refactor (ROADMAP item 2):
+//! hot-path functions declared allocation-free stay that way. The check is
+//! lexical — it bans calls whose names are allocating APIs — so it
+//! over-approximates (a `.clone()` of a `Copy` type fires); waive such
+//! sites with `// lint: allow(L003, reason)`.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+use super::{body_range, Rule};
+
+/// Allocating constructs, matched against comment- and string-blanked code.
+const ALLOCATING: [&str; 14] = [
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+    ".push(",
+    ".collect(",
+    ".collect::",
+    ".to_vec(",
+    ".to_string(",
+    ".to_owned(",
+    ".clone(",
+];
+
+/// How many lines past the annotation target the function signature may
+/// span before its `{` opens.
+const SIGNATURE_LOOKAHEAD: usize = 8;
+
+/// The L003 rule object.
+pub struct NoAlloc;
+
+impl Rule for NoAlloc {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+
+    fn describe(&self) -> &'static str {
+        "functions annotated `// lint: no_alloc` must not call allocating APIs"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            for annotation in file.waivers.iter().filter(|w| w.rule == "no_alloc") {
+                let Some((start, end)) =
+                    body_range(&file.lexed, annotation.target_line, SIGNATURE_LOOKAHEAD)
+                else {
+                    out.push(Diagnostic::new(
+                        "L003",
+                        file.rel_path.clone(),
+                        annotation.line,
+                        "`// lint: no_alloc` does not precede a function body".to_string(),
+                    ));
+                    continue;
+                };
+                for line in start..=end {
+                    if file.waived("L003", line) {
+                        continue;
+                    }
+                    let code = &file.lexed.lines[line - 1].code;
+                    for needle in ALLOCATING {
+                        if code.contains(needle) {
+                            out.push(Diagnostic::new(
+                                "L003",
+                                file.rel_path.clone(),
+                                line,
+                                format!(
+                                    "allocating call `{}` inside a `no_alloc` function \
+                                     (annotated on line {})",
+                                    needle.trim_matches(['.', '(', ':']),
+                                    annotation.line
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::{FileKind, SourceFile};
+    use std::path::PathBuf;
+
+    fn ws_with(src: &str) -> Workspace {
+        let lexed = lexer::lex(src);
+        let waivers = waiver::parse_waivers(&lexed);
+        let test_regions = lexed.test_regions();
+        Workspace {
+            root: PathBuf::new(),
+            members: Vec::new(),
+            manifests: Vec::new(),
+            files: vec![SourceFile {
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                crate_name: "oocts-core".to_string(),
+                kind: FileKind::Lib,
+                lexed,
+                waivers,
+                test_regions,
+            }],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        NoAlloc.check(&ws_with(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn allocations_inside_annotated_fn_fire() {
+        let src = "// lint: no_alloc\nfn hot(xs: &[u32]) -> Vec<u32> {\n    let mut v = Vec::new();\n    v.push(1);\n    v\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].line, 4);
+        assert!(out[0].message.contains("Vec::new"));
+    }
+
+    #[test]
+    fn unannotated_functions_are_free_to_allocate() {
+        let src = "fn cold() -> Vec<u32> { vec![1, 2, 3] }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allocation_after_the_body_does_not_fire() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    x + 1\n}\nfn cold() { let v = vec![0]; drop(v); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waived_line_inside_no_alloc_body_passes() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    let y = x.clone(); // lint: allow(L003, Copy type)\n    y\n}";
+        assert!(run(src).is_empty());
+        assert_eq!(
+            run(&src.replace(" // lint: allow(L003, Copy type)", "")).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn dangling_annotation_is_itself_a_finding() {
+        let src = "// lint: no_alloc\nconst X: u64 = 4;";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("does not precede a function body"));
+    }
+}

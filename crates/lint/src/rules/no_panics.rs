@@ -1,0 +1,145 @@
+//! L001: no panicking APIs in library code of the algorithmic crates.
+//!
+//! Library code must surface failures as `Result` through the
+//! `tree::error` types; panics are for tests, binaries and examples.
+//! Provably-infallible sites carry `// lint: allow(L001, reason)`.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{FileKind, Workspace};
+
+use super::Rule;
+
+/// The crates whose library code the rule covers. `oocts-bench` is a CLI
+/// harness and the umbrella crate only re-exports; neither is algorithmic.
+pub const COVERED_CRATES: [&str; 6] = [
+    "oocts-core",
+    "oocts-tree",
+    "oocts-minmem",
+    "oocts-profile",
+    "oocts-sparse",
+    "oocts-gen",
+];
+
+/// The banned constructs, as (needle, display-name) pairs, matched against
+/// comment- and string-blanked code text. `.unwrap()` requires the closing
+/// paren so `unwrap_or*` adapters do not fire; `.expect(` requires the open
+/// paren so `expect_err` does not fire.
+const BANNED: [(&str, &str); 5] = [
+    (".unwrap()", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!(", "panic!"),
+    ("todo!(", "todo!"),
+    ("unimplemented!(", "unimplemented!"),
+];
+
+/// The L001 rule object.
+pub struct NoPanics;
+
+impl Rule for NoPanics {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! in library code of the algorithmic crates"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Lib || !COVERED_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            for (idx, l) in file.lexed.lines.iter().enumerate() {
+                let line = idx + 1;
+                if file.in_test_region(line) || file.waived("L001", line) {
+                    continue;
+                }
+                for (needle, name) in BANNED {
+                    if l.code.contains(needle) {
+                        out.push(Diagnostic::new(
+                            "L001",
+                            file.rel_path.clone(),
+                            line,
+                            format!(
+                                "{name} in library code; return a Result or waive with \
+                                 `// lint: allow(L001, reason)`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws_with(kind: FileKind, crate_name: &str, src: &str) -> Workspace {
+        let lexed = lexer::lex(src);
+        let waivers = waiver::parse_waivers(&lexed);
+        let test_regions = lexed.test_regions();
+        Workspace {
+            root: PathBuf::new(),
+            members: Vec::new(),
+            manifests: Vec::new(),
+            files: vec![SourceFile {
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                crate_name: crate_name.to_string(),
+                kind,
+                lexed,
+                waivers,
+                test_regions,
+            }],
+        }
+    }
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        NoPanics.check(ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_banned_construct() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"m\"); }\nfn h() { panic!(\"n\"); }\nfn i() { todo!() }\nfn j() { unimplemented!() }";
+        let out = run(&ws_with(FileKind::Lib, "oocts-core", src));
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].line, 1);
+        assert!(out[1].message.contains("expect"));
+    }
+
+    #[test]
+    fn adapters_do_not_fire() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\nfn g(r: Result<u8, u8>) { let _ = r.expect_err; }";
+        assert!(run(&ws_with(FileKind::Lib, "oocts-tree", src)).is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_tests_are_exempt() {
+        let src = "/// Calling `unwrap()` here would panic!(boom).\nfn f() { let s = \"x.unwrap()\"; }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}";
+        assert!(run(&ws_with(FileKind::Lib, "oocts-minmem", src)).is_empty());
+    }
+
+    #[test]
+    fn waived_lines_are_exempt_but_others_fire() {
+        let src = "fn f() { x.expect(\"invariant\"); // lint: allow(L001, checked above)\n    y.unwrap();\n}";
+        let out = run(&ws_with(FileKind::Lib, "oocts-profile", src));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn uncovered_crates_and_nonlib_targets_are_exempt() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(run(&ws_with(FileKind::Lib, "oocts-bench", src)).is_empty());
+        assert!(run(&ws_with(FileKind::Bin, "oocts-core", src)).is_empty());
+        assert!(run(&ws_with(FileKind::Test, "oocts-core", src)).is_empty());
+        assert!(run(&ws_with(FileKind::Example, "oocts-core", src)).is_empty());
+    }
+}

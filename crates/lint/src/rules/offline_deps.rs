@@ -1,0 +1,83 @@
+//! L002: every manifest dependency resolves offline.
+//!
+//! The build must work with the network unplugged: dependencies may point at
+//! the `vendor/` stubs or at workspace crates (via `path` or
+//! `workspace = true`), never at crates.io versions or git URLs.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+use super::Rule;
+
+/// The L002 rule object.
+pub struct OfflineDeps;
+
+impl Rule for OfflineDeps {
+    fn id(&self) -> &'static str {
+        "L002"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every Cargo.toml dependency resolves to a vendor/ or workspace path"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for manifest in &ws.manifests {
+            for dep in &manifest.deps {
+                if !dep.offline {
+                    out.push(Diagnostic::new(
+                        "L002",
+                        manifest.rel_path.clone(),
+                        dep.line,
+                        format!(
+                            "dependency `{}` does not resolve offline ({}); use a \
+                             vendor/ or workspace path",
+                            dep.name, dep.problem
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{scan_dependencies, Manifest};
+    use std::path::PathBuf;
+
+    fn ws_with(toml: &str) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            members: Vec::new(),
+            manifests: vec![Manifest {
+                rel_path: "crates/x/Cargo.toml".to_string(),
+                crate_name: "x".to_string(),
+                deps: scan_dependencies(toml),
+            }],
+            files: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn registry_and_git_deps_fire() {
+        let toml =
+            "[dependencies]\nserde = \"1.0\"\nrand = { git = \"https://example.com/rand\" }\n";
+        let mut out = Vec::new();
+        OfflineDeps.check(&ws_with(toml), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("serde"));
+        assert_eq!(out[0].line, 2);
+        assert!(out[1].message.contains("git"));
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml =
+            "[dependencies]\noocts-tree.workspace = true\nserde = { path = \"vendor/serde\" }\n";
+        let mut out = Vec::new();
+        OfflineDeps.check(&ws_with(toml), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! L004: every `impl Scheduler for` type is reachable by name.
+//!
+//! The figure binaries select strategies through the name-based
+//! [`SchedulerRegistry`](https://docs.rs/) lookup; a scheduler implemented
+//! but not constructed in `SchedulerRegistry::with_builtins` silently falls
+//! out of every experiment. Strategies that are deliberately unregistered
+//! (oracles, fixtures) carry `// lint: allow(L004, reason)` on the `impl`
+//! line.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{FileKind, Workspace};
+
+use super::{body_range, Rule};
+
+/// How many lines an `fn with_builtins` signature may span before `{`.
+const SIGNATURE_LOOKAHEAD: usize = 4;
+
+/// The L004 rule object.
+pub struct RegistryComplete;
+
+/// An `impl Scheduler for X` site found in library code.
+struct ImplSite {
+    type_name: String,
+    file: String,
+    line: usize,
+}
+
+impl Rule for RegistryComplete {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every `impl Scheduler for` type is registered in SchedulerRegistry::with_builtins"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let mut impls: Vec<ImplSite> = Vec::new();
+        let mut builtins_body = String::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            for (idx, l) in file.lexed.lines.iter().enumerate() {
+                let line = idx + 1;
+                if file.in_test_region(line) {
+                    continue;
+                }
+                if let Some(name) = impl_scheduler_type(&l.code) {
+                    if !file.waived("L004", line) {
+                        impls.push(ImplSite {
+                            type_name: name,
+                            file: file.rel_path.clone(),
+                            line,
+                        });
+                    }
+                }
+                if l.code.contains("fn with_builtins") {
+                    if let Some((start, end)) = body_range(&file.lexed, line, SIGNATURE_LOOKAHEAD) {
+                        for b in &file.lexed.lines[start - 1..end] {
+                            builtins_body.push_str(&b.code);
+                            builtins_body.push('\n');
+                        }
+                    }
+                }
+            }
+        }
+        if impls.is_empty() {
+            return;
+        }
+        if builtins_body.is_empty() {
+            for site in &impls {
+                out.push(Diagnostic::new(
+                    "L004",
+                    site.file.clone(),
+                    site.line,
+                    format!(
+                        "scheduler `{}` found but no `SchedulerRegistry::with_builtins` \
+                         exists to register it",
+                        site.type_name
+                    ),
+                ));
+            }
+            return;
+        }
+        for site in &impls {
+            if !mentions_type(&builtins_body, &site.type_name) {
+                out.push(Diagnostic::new(
+                    "L004",
+                    site.file.clone(),
+                    site.line,
+                    format!(
+                        "scheduler `{}` is not registered in \
+                         SchedulerRegistry::with_builtins; register it or waive with \
+                         `// lint: allow(L004, reason)`",
+                        site.type_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If `code` contains `impl … Scheduler for Type`, returns the bare type
+/// name (generics stripped).
+fn impl_scheduler_type(code: &str) -> Option<String> {
+    let impl_pos = find_word(code, "impl")?;
+    let rest = &code[impl_pos..];
+    let for_pos = find_word(rest, " for ")?;
+    let head = &rest[..for_pos];
+    // The trait path must end in `Scheduler` (allow `core::Scheduler` etc.,
+    // reject `SomeOtherTrait`).
+    let trait_part = head.trim_end();
+    if !(trait_part.ends_with("Scheduler")
+        || trait_part.ends_with("Scheduler>")
+        || trait_part.contains("Scheduler "))
+    {
+        return None;
+    }
+    let after = rest[for_pos + 5..].trim_start();
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Word-boundary-ish search: `needle` not preceded/followed by an
+/// identifier char (a needle that starts or ends with a non-identifier
+/// char carries its own boundary on that side).
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let self_bounded_start = needle
+        .chars()
+        .next()
+        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+    let self_bounded_end = needle
+        .chars()
+        .next_back()
+        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let abs = from + pos;
+        let before_ok = self_bounded_start
+            || abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = abs + needle.len();
+        let after_ok = self_bounded_end
+            || !haystack[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        from = end;
+    }
+    None
+}
+
+/// `true` if `body` mentions `name` as a whole identifier.
+fn mentions_type(body: &str, name: &str) -> bool {
+    find_word(body, name).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::SourceFile;
+    use std::path::PathBuf;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let waivers = waiver::parse_waivers(&lexed);
+        let test_regions = lexed.test_regions();
+        SourceFile {
+            rel_path: path.to_string(),
+            crate_name: "oocts-core".to_string(),
+            kind: FileKind::Lib,
+            lexed,
+            waivers,
+            test_regions,
+        }
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: PathBuf::new(),
+            members: Vec::new(),
+            manifests: Vec::new(),
+            files,
+        };
+        let mut out = Vec::new();
+        RegistryComplete.check(&ws, &mut out);
+        out
+    }
+
+    const REGISTRY: &str = "impl SchedulerRegistry {\n    pub fn with_builtins() -> Self {\n        let mut r = Self::new();\n        r.register(PostOrderMinIo);\n        r\n    }\n}";
+
+    #[test]
+    fn registered_scheduler_passes_unregistered_fires() {
+        let impls = "pub struct PostOrderMinIo;\nimpl Scheduler for PostOrderMinIo {}\npub struct Forgotten;\nimpl Scheduler for Forgotten {}";
+        let out = run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Forgotten"));
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn waived_impl_passes() {
+        let impls =
+            "// lint: allow(L004, test oracle, not a strategy)\nimpl Scheduler for Oracle {}";
+        assert!(run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]).is_empty());
+    }
+
+    #[test]
+    fn generic_impls_and_paths_are_recognised() {
+        let impls = "impl<T: Clone> Scheduler for Wrapper {}\nimpl crate::Scheduler for Pathy {}";
+        let out = run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|d| d.message.contains("Wrapper")));
+        assert!(out.iter().any(|d| d.message.contains("Pathy")));
+    }
+
+    #[test]
+    fn other_traits_do_not_fire() {
+        let impls = "impl Display for PostOrderMinIo {}\nimpl SchedulerSpec {}";
+        assert!(run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]).is_empty());
+    }
+
+    #[test]
+    fn missing_registry_reports_each_impl() {
+        let impls = "impl Scheduler for Lone {}";
+        let out = run(vec![file("a.rs", impls)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0]
+            .message
+            .contains("no `SchedulerRegistry::with_builtins`"));
+    }
+}

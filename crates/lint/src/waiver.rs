@@ -1,0 +1,128 @@
+//! Waiver parsing: `// lint: allow(RULE, reason)` and `// lint: no_alloc`.
+//!
+//! A waiver suppresses a rule on the line it sits on, or — when written on
+//! its own line — on the next line that carries code. The reason is free
+//! text and mandatory; [`crate::run_lint`] reports reason-less waivers as
+//! `W000`.
+
+use crate::lexer::Lexed;
+
+/// One parsed `// lint: …` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The named rule (`"L001"` … `"L005"`), or `"no_alloc"` for the
+    /// zero-alloc region annotation.
+    pub rule: String,
+    /// The free-text justification (empty for `no_alloc` annotations).
+    pub reason: String,
+    /// 1-based line the annotation was written on.
+    pub line: usize,
+    /// 1-based line the annotation *applies to*: the same line when the
+    /// comment trails code, otherwise the next line that carries code.
+    pub target_line: usize,
+}
+
+impl Waiver {
+    /// `true` if this waiver suppresses `rule` on `line` (1-based).
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rule == rule && self.target_line == line
+    }
+}
+
+/// Extracts all `// lint: …` annotations from a scanned file.
+pub fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (idx, l) in lexed.lines.iter().enumerate() {
+        let Some(comment) = &l.comment else { continue };
+        let Some(rest) = comment.trim().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let line = idx + 1;
+        let has_code = !l.code.trim().is_empty();
+        let target_line = if has_code {
+            line
+        } else {
+            // Stand-alone comment: applies to the next line with code.
+            lexed.lines[idx + 1..]
+                .iter()
+                .position(|nl| !nl.code.trim().is_empty())
+                .map(|off| line + 1 + off)
+                .unwrap_or(line)
+        };
+        if rest == "no_alloc" {
+            waivers.push(Waiver {
+                rule: "no_alloc".to_string(),
+                reason: String::new(),
+                line,
+                target_line,
+            });
+        } else if let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+                None => (inner.trim().to_string(), String::new()),
+            };
+            waivers.push(Waiver {
+                rule,
+                reason,
+                line,
+                target_line,
+            });
+        }
+        // Other `lint:`-prefixed comments are ignored; the annotation
+        // namespace may grow.
+    }
+    waivers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let lexed = lex("let x = f(); // lint: allow(L001, provably infallible)");
+        let ws = parse_waivers(&lexed);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "L001");
+        assert_eq!(ws[0].reason, "provably infallible");
+        assert_eq!(ws[0].target_line, 1);
+        assert!(ws[0].covers("L001", 1));
+        assert!(!ws[0].covers("L002", 1));
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let src =
+            "// lint: allow(L004, bench-only strategy)\n// more prose\nimpl Scheduler for X {}";
+        let ws = parse_waivers(&lex(src));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].line, 1);
+        assert_eq!(ws[0].target_line, 3);
+    }
+
+    #[test]
+    fn no_alloc_annotation() {
+        let ws = parse_waivers(&lex("// lint: no_alloc\nfn hot() {}"));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "no_alloc");
+        assert_eq!(ws[0].target_line, 2);
+    }
+
+    #[test]
+    fn missing_reason_is_parsed_with_empty_reason() {
+        let ws = parse_waivers(&lex("x(); // lint: allow(L001)"));
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].reason.is_empty());
+    }
+
+    #[test]
+    fn waiver_inside_string_is_ignored() {
+        let ws = parse_waivers(&lex(r#"let s = "// lint: allow(L001, nope)";"#));
+        assert!(ws.is_empty());
+    }
+}

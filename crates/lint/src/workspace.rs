@@ -1,0 +1,437 @@
+//! Workspace discovery: members, source files, and manifest dependencies.
+//!
+//! Members are enumerated directly from the filesystem layout the root
+//! manifest pins down (`members = ["crates/*"]` plus the root umbrella
+//! package), so the linter needs no TOML parser — only the dependency
+//! sections of each manifest are scanned, line by line.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed};
+use crate::waiver::{self, Waiver};
+
+/// What kind of compilation target a source file belongs to. Library rules
+/// (L001, L003, L004) only apply to [`FileKind::Lib`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of a crate, excluding binary roots.
+    Lib,
+    /// `src/main.rs` or `src/bin/**`.
+    Bin,
+    /// `tests/**`.
+    Test,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// One scanned `.rs` file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Package name of the owning crate (e.g. `oocts-core`).
+    pub crate_name: String,
+    /// Target kind, used by rules to scope themselves to library code.
+    pub kind: FileKind,
+    /// Scanned code/comment channels.
+    pub lexed: Lexed,
+    /// Parsed `// lint: …` annotations.
+    pub waivers: Vec<Waiver>,
+    /// `#[cfg(test)]` line ranges (1-based, inclusive).
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// `true` if `rule` is waived on `line` (1-based).
+    pub fn waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers.iter().any(|w| w.covers(rule, line))
+    }
+
+    /// `true` if `line` (1-based) is inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        lexer::in_regions(&self.test_regions, line)
+    }
+}
+
+/// One dependency entry of a manifest.
+#[derive(Debug, Clone)]
+pub struct Dependency {
+    /// The dependency name as written.
+    pub name: String,
+    /// 1-based line in the manifest.
+    pub line: usize,
+    /// `true` when the entry resolves offline (a `path` dependency or a
+    /// `workspace = true` reference).
+    pub offline: bool,
+    /// Short description of why the entry is not offline (registry version,
+    /// git, …); empty when `offline`.
+    pub problem: String,
+}
+
+/// One scanned `Cargo.toml`.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// The package name (`name = "…"`), or the directory name for the
+    /// virtual root.
+    pub crate_name: String,
+    /// All dependency entries across `[dependencies]`,
+    /// `[dev-dependencies]`, `[build-dependencies]` and
+    /// `[workspace.dependencies]`.
+    pub deps: Vec<Dependency>,
+}
+
+/// One workspace member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Package name.
+    pub name: String,
+    /// Directory relative to the workspace root (`"."` for the root
+    /// package).
+    pub rel_dir: String,
+    /// `true` if the member has a `src/lib.rs`.
+    pub has_lib: bool,
+}
+
+/// The scanned workspace: members, manifests, and all `.rs` sources.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Absolute path of the workspace root.
+    pub root: PathBuf,
+    /// Members in directory order (root package first).
+    pub members: Vec<Member>,
+    /// Scanned manifests (root first).
+    pub manifests: Vec<Manifest>,
+    /// Scanned source files.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Scans the workspace rooted at `root` (which must contain the
+    /// workspace `Cargo.toml`).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let root_manifest = root.join("Cargo.toml");
+        let root_toml = fs::read_to_string(&root_manifest)
+            .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+        if !root_toml.contains("[workspace]") {
+            return Err(format!(
+                "{} is not a workspace manifest",
+                root_manifest.display()
+            ));
+        }
+
+        let mut members = Vec::new();
+        if root_toml.contains("[package]") {
+            members.push(Member {
+                name: package_name(&root_toml).unwrap_or_else(|| "root".to_string()),
+                rel_dir: ".".to_string(),
+                has_lib: root.join("src/lib.rs").is_file(),
+            });
+        }
+        // `members = ["crates/*"]`: enumerate crates/* directories that
+        // carry a manifest. `vendor/` is excluded from the workspace and
+        // lives outside crates/, so it is never picked up.
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        if crates_dir.is_dir() {
+            let entries = fs::read_dir(&crates_dir)
+                .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+            for entry in entries.flatten() {
+                let dir = entry.path();
+                if dir.join("Cargo.toml").is_file() {
+                    crate_dirs.push(dir);
+                }
+            }
+        }
+        crate_dirs.sort();
+        for dir in &crate_dirs {
+            let toml = fs::read_to_string(dir.join("Cargo.toml"))
+                .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let rel_dir = rel(root, dir);
+            members.push(Member {
+                name: package_name(&toml).unwrap_or_else(|| rel_dir.clone()),
+                rel_dir,
+                has_lib: dir.join("src/lib.rs").is_file(),
+            });
+        }
+
+        let mut manifests = Vec::new();
+        let mut files = Vec::new();
+        for member in &members {
+            let dir = if member.rel_dir == "." {
+                root.to_path_buf()
+            } else {
+                root.join(&member.rel_dir)
+            };
+            let manifest_path = dir.join("Cargo.toml");
+            let toml = fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+            manifests.push(Manifest {
+                rel_path: rel(root, &manifest_path),
+                crate_name: member.name.clone(),
+                deps: scan_dependencies(&toml),
+            });
+            for (sub, kind) in [
+                ("src", FileKind::Lib),
+                ("tests", FileKind::Test),
+                ("examples", FileKind::Example),
+                ("benches", FileKind::Bench),
+            ] {
+                let sub_dir = dir.join(sub);
+                if !sub_dir.is_dir() {
+                    continue;
+                }
+                let mut paths = Vec::new();
+                collect_rs(&sub_dir, &mut paths)?;
+                paths.sort();
+                for path in paths {
+                    let rel_path = rel(root, &path);
+                    let kind = classify(kind, &rel_path, &member.rel_dir);
+                    let source = fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    let lexed = lexer::lex(&source);
+                    let waivers = waiver::parse_waivers(&lexed);
+                    let test_regions = lexed.test_regions();
+                    files.push(SourceFile {
+                        rel_path,
+                        crate_name: member.name.clone(),
+                        kind,
+                        lexed,
+                        waivers,
+                        test_regions,
+                    });
+                }
+            }
+        }
+
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            members,
+            manifests,
+            files,
+        })
+    }
+}
+
+/// Refines the directory-derived kind for files under `src/`.
+fn classify(base: FileKind, rel_path: &str, member_dir: &str) -> FileKind {
+    if base != FileKind::Lib {
+        return base;
+    }
+    let prefix = if member_dir == "." {
+        String::new()
+    } else {
+        format!("{member_dir}/")
+    };
+    if rel_path == format!("{prefix}src/main.rs")
+        || rel_path.starts_with(&format!("{prefix}src/bin/"))
+    {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `fixtures/` directories (the
+/// lint crate's own test inputs deliberately violate the rules).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with `/` separators.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Extracts `name = "…"` from a `[package]` section.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `true` if a section header opens a dependency table.
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim_matches(['[', ']']);
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+/// Scans the dependency sections of a manifest, line by line.
+///
+/// Handles the idioms in use across the workspace: `name.workspace = true`,
+/// `name = { workspace = true }`, `name = { path = "…" }`, plus the
+/// violations the rule must catch: `name = "1.0"`,
+/// `name = { version = "1.0" }`, `name = { git = "…" }`, and sub-table
+/// dependencies `[dependencies.name]`.
+pub fn scan_dependencies(toml: &str) -> Vec<Dependency> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    // A `[dependencies.NAME]` sub-table being accumulated.
+    let mut pending: Option<Dependency> = None;
+    for (idx, raw) in toml.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(dep) = pending.take() {
+                deps.push(dep);
+            }
+            let h = line.trim_matches(['[', ']']);
+            let sub = h
+                .strip_prefix("dependencies.")
+                .or_else(|| h.strip_prefix("dev-dependencies."))
+                .or_else(|| h.strip_prefix("build-dependencies."))
+                .or_else(|| h.strip_prefix("workspace.dependencies."));
+            if let Some(name) = sub {
+                pending = Some(Dependency {
+                    name: name.to_string(),
+                    line: idx + 1,
+                    offline: false,
+                    problem: "no path/workspace source".to_string(),
+                });
+                in_deps = false;
+            } else {
+                in_deps = is_dep_section(line);
+            }
+            continue;
+        }
+        if let Some(dep) = pending.as_mut() {
+            if line.starts_with("path") || (line.starts_with("workspace") && line.contains("true"))
+            {
+                dep.offline = true;
+                dep.problem.clear();
+            } else if line.starts_with("git") {
+                dep.offline = false;
+                dep.problem = "git dependency".to_string();
+            }
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `name.workspace = true` / `name.path = "…"` dotted form.
+        let (name, is_dotted_offline) = match key.split_once('.') {
+            Some((n, attr)) => (
+                n.trim(),
+                (attr.trim() == "workspace" && value == "true") || attr.trim() == "path",
+            ),
+            None => (key, false),
+        };
+        let (offline, problem) = if is_dotted_offline
+            || value.contains("path")
+            || (value.contains("workspace") && value.contains("true"))
+        {
+            (true, String::new())
+        } else if value.contains("git") {
+            (false, "git dependency".to_string())
+        } else {
+            (false, "registry version, not a path".to_string())
+        };
+        deps.push(Dependency {
+            name: name.trim_matches('"').to_string(),
+            line: idx + 1,
+            offline,
+            problem,
+        });
+    }
+    if let Some(dep) = pending.take() {
+        deps.push(dep);
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_idioms() {
+        let toml = r#"
+[package]
+name = "x"
+
+[dependencies]
+oocts-tree.workspace = true
+serde = { path = "vendor/serde", features = ["derive"] }
+bad = "1.0"
+worse = { version = "2", default-features = false }
+evil = { git = "https://example.com/evil" }
+
+[features]
+brute-force = ["oocts-core/brute-force"]
+
+[dev-dependencies]
+oocts-core = { path = ".", features = ["brute-force"] }
+
+[dependencies.sub]
+version = "1"
+"#;
+        let deps = scan_dependencies(toml);
+        let by_name = |n: &str| deps.iter().find(|d| d.name == n).expect("dep present");
+        assert!(by_name("oocts-tree").offline);
+        assert!(by_name("serde").offline);
+        assert!(!by_name("bad").offline);
+        assert!(!by_name("worse").offline);
+        assert!(!by_name("evil").offline);
+        assert!(by_name("evil").problem.contains("git"));
+        assert!(by_name("oocts-core").offline);
+        assert!(!by_name("sub").offline);
+        // Feature lists are not dependencies.
+        assert!(!deps.iter().any(|d| d.name == "brute-force"));
+        assert_eq!(deps.len(), 7);
+    }
+
+    #[test]
+    fn package_name_extraction() {
+        assert_eq!(
+            package_name("[package]\nname = \"oocts-core\"\n"),
+            Some("oocts-core".to_string())
+        );
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

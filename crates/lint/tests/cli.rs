@@ -1,0 +1,100 @@
+//! End-to-end tests: drive the `oocts-lint` binary against a fixture
+//! workspace seeded with one violation per rule, and run the library
+//! entry point against the real workspace, which must be clean.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oocts-lint"))
+}
+
+fn fixture_root() -> String {
+    format!(
+        "{}/tests/fixtures/bad_workspace",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn bad_workspace_fails_with_one_diagnostic_per_rule() {
+    let out = bin()
+        .args(["--root", &fixture_root()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    for needle in [
+        "L001 crates/core/src/lib.rs:6:",
+        "L002 crates/core/Cargo.toml:7:",
+        "L003 crates/core/src/lib.rs:11:",
+        "L004 crates/core/src/lib.rs:18:",
+        "L005 crates/core/src/lib.rs:1:",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    // L001..L004 once each, L005 twice (both preamble attributes missing).
+    assert!(stdout.contains("oocts-lint: 6 violations"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = bin()
+        .args(["--root", &fixture_root(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    assert!(stdout.starts_with("{\"count\":6,"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"L004\""), "{stdout}");
+    assert!(
+        stdout.contains("\"file\":\"crates/core/src/lib.rs\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"line\":18"), "{stdout}");
+}
+
+#[test]
+fn rules_filter_limits_the_scan() {
+    let out = bin()
+        .args(["--root", &fixture_root(), "--rules", "l002"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    assert!(stdout.contains("L002"), "{stdout}");
+    assert!(!stdout.contains("L001"), "{stdout}");
+    assert!(stdout.contains("oocts-lint: 1 violation\n"), "{stdout}");
+}
+
+#[test]
+fn list_prints_the_rule_set_and_exits_zero() {
+    let out = bin().arg("--list").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    for rule in oocts_lint::ALL_RULES {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_arguments_are_a_usage_error() {
+    let out = bin().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8 output");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let diagnostics = oocts_lint::run_lint(root, &[]).expect("workspace scans");
+    assert!(
+        diagnostics.is_empty(),
+        "the workspace must stay lint-clean:\n{}",
+        oocts_lint::diagnostics::render_human(&diagnostics)
+    );
+}

@@ -1,0 +1,26 @@
+// This fixture workspace deliberately violates every oocts-lint rule; the
+// integration tests assert one diagnostic per rule at these exact lines.
+// (L005 fires because the forbid/deny preamble is absent from this file.)
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+// lint: no_alloc
+pub fn hot(x: u64) -> Vec<u64> {
+    vec![x]
+}
+
+pub trait Scheduler {}
+
+pub struct Rogue;
+
+impl Scheduler for Rogue {}
+
+pub struct SchedulerRegistry;
+
+impl SchedulerRegistry {
+    pub fn with_builtins() -> Self {
+        SchedulerRegistry
+    }
+}

@@ -66,8 +66,7 @@ fn explore(
         let new_peak = peak.max(step_peak);
 
         // Apply.
-        let idx = ready.iter().position(|&x| x == node).unwrap();
-        ready.swap_remove(idx);
+        ready.retain(|&x| x != node);
         current.push(node);
         let mut parent_became_ready = false;
         if let Some(p) = tree.parent(node) {
@@ -83,8 +82,7 @@ fn explore(
         // Undo.
         if let Some(p) = tree.parent(node) {
             if parent_became_ready {
-                let pos = ready.iter().position(|&x| x == p).unwrap();
-                ready.swap_remove(pos);
+                ready.retain(|&x| x != p);
             }
             missing[p.index()] += 1;
         }

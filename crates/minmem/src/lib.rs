@@ -18,7 +18,9 @@
 //! oracle for small trees.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 #[cfg(feature = "brute-force")]
 pub mod bruteforce;

@@ -51,7 +51,10 @@ pub fn optimal_segments(tree: &Tree, root: NodeId) -> Vec<Segment> {
     // Bottom-up over an iterative postorder so arbitrarily deep trees do not
     // overflow the call stack.
     let order = tree.subtree_postorder(root);
-    let mut results: Vec<Option<Vec<Segment>>> = vec![None; tree.len()];
+    // The postorder guarantees children are processed before their parent;
+    // taking a child's slot leaves an empty Vec behind, which is never read
+    // again, so no Option wrapper is needed.
+    let mut results: Vec<Vec<Segment>> = vec![Vec::new(); tree.len()];
     for node in order {
         let children = tree.children(node);
         let segs = if children.is_empty() {
@@ -64,19 +67,13 @@ pub fn optimal_segments(tree: &Tree, root: NodeId) -> Vec<Segment> {
         } else {
             let child_segs: Vec<Vec<Segment>> = children
                 .iter()
-                .map(|&c| {
-                    results[c.index()]
-                        .take()
-                        .expect("postorder processes children before parents")
-                })
+                .map(|&c| std::mem::take(&mut results[c.index()]))
                 .collect();
             combine(tree, node, child_segs)
         };
-        results[node.index()] = Some(segs);
+        results[node.index()] = segs;
     }
-    results[root.index()]
-        .take()
-        .expect("root processed last in postorder")
+    std::mem::take(&mut results[root.index()])
 }
 
 /// Liu's composition step: merge the children's canonical segment sequences,

@@ -122,23 +122,21 @@ pub fn merge(children: Vec<Vec<Segment>>) -> Vec<Segment> {
     let mut heads: Vec<Option<Segment>> = queues.iter_mut().map(Iterator::next).collect();
     let mut out = Vec::with_capacity(total);
     loop {
-        // Pick the child whose head segment has the largest key.
-        let mut best: Option<usize> = None;
+        // Pick the child whose head segment has the largest key; on ties the
+        // lowest index wins, so a strict `>` preserves child order.
+        let mut best: Option<(usize, u64)> = None;
         for (i, head) in heads.iter().enumerate() {
             if let Some(seg) = head {
-                match best {
-                    None => best = Some(i),
-                    Some(b) => {
-                        if seg.key() > heads[b].as_ref().unwrap().key() {
-                            best = Some(i);
-                        }
-                    }
+                let key = seg.key();
+                if best.is_none_or(|(_, bk)| key > bk) {
+                    best = Some((i, key));
                 }
             }
         }
-        let Some(i) = best else { break };
-        let seg = heads[i].take().unwrap();
-        out.push(seg);
+        let Some((i, _)) = best else { break };
+        if let Some(seg) = heads[i].take() {
+            out.push(seg);
+        }
         heads[i] = queues[i].next();
     }
     out

@@ -15,7 +15,9 @@
 //!   algorithms over a dataset and collects a result table.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod bounds;
 pub mod metric;

@@ -2,10 +2,10 @@
 //!
 //! Evaluates a set of [`Scheduler`]s over a dataset of instances, one memory
 //! bound at a time, and collects per-instance I/O volumes and performances.
-//! Instances are distributed over worker threads through a crossbeam channel
-//! (each instance is independent, so this is embarrassingly parallel); the
-//! per-instance work itself stays sequential, exactly like the paper's
-//! simulations.
+//! Instances are distributed over worker threads through a shared atomic
+//! work index (each instance is independent, so this is embarrassingly
+//! parallel); the per-instance work itself stays sequential, exactly like
+//! the paper's simulations.
 //!
 //! The runner is generic over the strategy set: anything implementing
 //! [`Scheduler`] — built-in or user-defined, typically obtained from
@@ -14,13 +14,13 @@
 //! registered name.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel;
 use parking_lot::Mutex;
 
 use oocts_core::scheduler::{synth_schedulers, trees_schedulers, Scheduler};
-use oocts_tree::Tree;
+use oocts_tree::{Tree, TreeError};
 
 use crate::bounds::{MemoryBound, MemoryBounds};
 use crate::metric::performance;
@@ -220,10 +220,15 @@ impl ExperimentResults {
 
 /// Runs every strategy of the configuration on every instance and collects
 /// the results. Instance order is preserved.
+///
+/// # Errors
+/// Returns the first scheduler failure encountered (remaining work is
+/// abandoned); the paper's memory bounds are feasible by construction, so
+/// an error indicates a misconfigured instance or a buggy strategy.
 pub fn run_experiment(
     instances: &[(String, Tree)],
     config: &ExperimentConfig,
-) -> ExperimentResults {
+) -> Result<ExperimentResults, TreeError> {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -233,58 +238,70 @@ pub fn run_experiment(
     };
 
     let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; instances.len()]);
-    let (tx, rx) = channel::unbounded::<usize>();
-    for i in 0..instances.len() {
-        tx.send(i).expect("channel open");
-    }
-    drop(tx);
+    let first_error: Mutex<Option<TreeError>> = Mutex::new(None);
+    // Work distribution: each worker claims the next unprocessed instance
+    // index; no queue to fill and nothing to disconnect.
+    let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            let rx = rx.clone();
             let results = &results;
+            let first_error = &first_error;
+            let next = &next;
             let config = &config;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let (name, tree) = &instances[i];
-                    if let Some(r) = evaluate_instance(name, tree, config) {
-                        results.lock()[i] = Some(r);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= instances.len() || first_error.lock().is_some() {
+                    break;
+                }
+                let (name, tree) = &instances[i];
+                match evaluate_instance(name, tree, config) {
+                    Ok(Some(r)) => results.lock()[i] = Some(r),
+                    Ok(None) => {}
+                    Err(e) => {
+                        first_error.lock().get_or_insert(e);
+                        break;
                     }
                 }
             });
         }
     });
 
-    ExperimentResults {
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(ExperimentResults {
         schedulers: config.schedulers.clone(),
         bound: config.bound,
         results: results.into_inner().into_iter().flatten().collect(),
-    }
+    })
 }
 
-fn evaluate_instance(name: &str, tree: &Tree, config: &ExperimentConfig) -> Option<InstanceResult> {
+fn evaluate_instance(
+    name: &str,
+    tree: &Tree,
+    config: &ExperimentConfig,
+) -> Result<Option<InstanceResult>, TreeError> {
     let bounds = MemoryBounds::of(tree);
     if config.filter_interesting && !bounds.is_interesting() {
-        return None;
+        return Ok(None);
     }
     let memory = bounds.memory(config.bound);
     let mut io_volumes = Vec::with_capacity(config.schedulers.len());
     let mut performances = Vec::with_capacity(config.schedulers.len());
     for scheduler in &config.schedulers {
-        let report = scheduler
-            .solve(tree, memory)
-            .expect("memory bound is feasible by construction");
+        let report = scheduler.solve(tree, memory)?;
         io_volumes.push(report.io_volume);
         performances.push(performance(memory, report.io_volume));
     }
-    Some(InstanceResult {
+    Ok(Some(InstanceResult {
         name: name.to_string(),
         nodes: tree.len(),
         bounds,
         memory,
         io_volumes,
         performances,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -311,7 +328,7 @@ mod tests {
             threads: 4,
             ..ExperimentConfig::new(trees_schedulers(), MemoryBound::Middle)
         };
-        let res = run_experiment(&instances, &config);
+        let res = run_experiment(&instances, &config).expect("feasible bounds");
         assert_eq!(res.results.len(), 16);
         for (i, r) in res.results.iter().enumerate() {
             assert_eq!(r.name, format!("inst-{i}"));
@@ -324,7 +341,8 @@ mod tests {
                 threads: 1,
                 ..config.clone()
             },
-        );
+        )
+        .expect("feasible bounds");
         for (a, b) in res.results.iter().zip(&res1.results) {
             assert_eq!(a.io_volumes, b.io_volumes);
         }
@@ -344,7 +362,7 @@ mod tests {
             filter_interesting: true,
             ..ExperimentConfig::new(vec![Arc::new(PostOrderMinIo)], MemoryBound::Middle)
         };
-        let res = run_experiment(&[chain, interesting], &config);
+        let res = run_experiment(&[chain, interesting], &config).expect("feasible bounds");
         assert_eq!(res.results.len(), 1);
         assert_eq!(res.results[0].name, "inst-1");
     }
@@ -353,7 +371,7 @@ mod tests {
     fn profile_and_csv_are_consistent() {
         let instances: Vec<_> = (0..8).map(instance).collect();
         let config = ExperimentConfig::synth(MemoryBound::Middle);
-        let res = run_experiment(&instances, &config);
+        let res = run_experiment(&instances, &config).expect("feasible bounds");
         let profile = res.profile();
         assert_eq!(profile.instances(), res.results.len());
         assert_eq!(profile.algorithms().len(), 4);
@@ -379,7 +397,9 @@ mod tests {
             threads: 1,
             ..ExperimentConfig::new(vec![Arc::new(PostOrderMinIo)], MemoryBound::Middle)
         };
-        let csv = run_experiment(&instances, &config).to_csv();
+        let csv = run_experiment(&instances, &config)
+            .expect("feasible bounds")
+            .to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[1].starts_with("plain,"));
@@ -399,6 +419,33 @@ mod tests {
                 }
             }
             assert_eq!(cols, 5, "bad column count in {line:?}");
+        }
+    }
+
+    /// A scheduler that always fails, to exercise error propagation.
+    #[derive(Debug)]
+    struct AlwaysFails;
+
+    impl Scheduler for AlwaysFails {
+        fn name(&self) -> String {
+            "AlwaysFails".to_string()
+        }
+
+        fn schedule(&self, _tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            Err(TreeError::Empty)
+        }
+    }
+
+    #[test]
+    fn scheduler_errors_propagate_out_of_the_runner() {
+        let instances: Vec<_> = (0..4).map(instance).collect();
+        for threads in [1, 4] {
+            let config = ExperimentConfig {
+                threads,
+                ..ExperimentConfig::new(vec![Arc::new(AlwaysFails)], MemoryBound::Middle)
+            };
+            let err = run_experiment(&instances, &config);
+            assert!(matches!(err, Err(TreeError::Empty)));
         }
     }
 
@@ -438,7 +485,9 @@ mod tests {
             threads: 1,
             ..ExperimentConfig::new(vec![Arc::new(CommaName)], MemoryBound::Middle)
         };
-        let csv = run_experiment(&instances, &config).to_csv();
+        let csv = run_experiment(&instances, &config)
+            .expect("feasible bounds")
+            .to_csv();
         let header = csv.lines().next().unwrap();
         // The quote must open at the start of the cell, prefix included.
         assert!(
@@ -452,7 +501,7 @@ mod tests {
         let instances: Vec<_> = (0..6).map(instance).collect();
         let mut config = ExperimentConfig::synth(MemoryBound::Middle);
         config.schedulers.push(Arc::new(PlainPostorder));
-        let res = run_experiment(&instances, &config);
+        let res = run_experiment(&instances, &config).expect("feasible bounds");
         assert_eq!(res.scheduler_names().last().unwrap(), "PlainPostorder");
         for r in &res.results {
             assert_eq!(r.io_volumes.len(), 5);
@@ -467,7 +516,7 @@ mod tests {
     fn restricted_to_differing_preserves_column_order() {
         let instances: Vec<_> = (0..12).map(instance).collect();
         let config = ExperimentConfig::synth(MemoryBound::LowerBound);
-        let res = run_experiment(&instances, &config);
+        let res = run_experiment(&instances, &config).expect("feasible bounds");
         let names = res.scheduler_names();
         let diff = res.restricted_to_differing();
         assert_eq!(diff.scheduler_names(), names, "column order must survive");

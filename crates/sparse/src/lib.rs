@@ -23,7 +23,9 @@
 //!    scheduled by `oocts-core`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod assembly;
 pub mod etree;

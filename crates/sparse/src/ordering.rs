@@ -208,6 +208,7 @@ pub fn compute_ordering(
         Ordering::ReverseCuthillMcKee => reverse_cuthill_mckee(pattern),
         Ordering::MinimumDegree => minimum_degree(pattern),
         Ordering::NestedDissection => {
+            // lint: allow(L001, documented precondition: callers pass the grid for NestedDissection)
             let (nx, ny) = grid.expect("nested dissection needs the grid dimensions");
             assert_eq!(nx * ny, pattern.order(), "grid does not match the pattern");
             nested_dissection_2d(nx, ny)

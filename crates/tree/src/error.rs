@@ -56,6 +56,16 @@ pub enum TreeError {
         /// Available memory `M`.
         available: u64,
     },
+    /// A solve report is inconsistent with the instance it reports on
+    /// (a reported quantity does not match its recomputation).
+    ReportMismatch {
+        /// Name of the mismatched quantity.
+        field: &'static str,
+        /// The reported value.
+        reported: u64,
+        /// The recomputed value.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -94,6 +104,14 @@ impl fmt::Display for TreeError {
             } => write!(
                 f,
                 "traversal uses {used} memory units at node {node:?} but only {available} are available"
+            ),
+            TreeError::ReportMismatch {
+                field,
+                reported,
+                actual,
+            } => write!(
+                f,
+                "solve report is inconsistent: {field} reported as {reported}, recomputed as {actual}"
             ),
         }
     }

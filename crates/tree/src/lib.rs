@@ -29,7 +29,9 @@
 //! * [`dot`] — Graphviz export for debugging and documentation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod dot;
 pub mod error;

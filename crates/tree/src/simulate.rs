@@ -163,6 +163,7 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
         while to_evict > 0 {
             let (par_pos, Reverse(raw)) = heap
                 .pop()
+                // lint: allow(L001, to_evict > 0 implies some non-child active data is resident, so the heap holds a live entry)
                 .expect("eviction needed but no active data to evict");
             let victim = NodeId(raw);
             let stale = !active[victim.index()]
@@ -202,6 +203,14 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
         );
     }
 
+    // Invariant layer: every test that reaches the simulator doubles as an
+    // invariant test in debug builds.
+    debug_assert!(tree.validate().is_ok(), "fif_io ran on a malformed tree");
+    debug_assert_eq!(
+        total_io,
+        tau.iter().sum::<u64>(),
+        "total I/O must equal the sum of the induced τ"
+    );
     Ok(IoResult {
         total_io,
         tau,
@@ -209,6 +218,7 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
     })
 }
 
+// lint: no_alloc
 #[inline]
 fn parent_position(tree: &Tree, positions: &[usize], node: NodeId) -> usize {
     match tree.parent(node) {

@@ -25,6 +25,7 @@ impl NodeId {
     /// Panics if `index` does not fit in a `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // lint: allow(L001, documented panic: the u32-width node id is a deliberate API contract)
         NodeId(u32::try_from(index).expect("node index overflows u32"))
     }
 }
@@ -303,6 +304,7 @@ impl Tree {
                 let slot = self.children[p.index()]
                     .iter()
                     .position(|&c| c == node)
+                    // lint: allow(L001, parent/child links are a Tree construction invariant)
                     .expect("parent/child links out of sync");
                 self.children[p.index()][slot] = new;
             }
@@ -317,6 +319,7 @@ impl Tree {
         if self.is_empty() {
             return Err(TreeError::Empty);
         }
+        let mut seen_as_child = vec![false; self.len()];
         for n in self.node_ids() {
             if let Some(p) = self.parent(n) {
                 if p.index() >= self.len() {
@@ -327,9 +330,18 @@ impl Tree {
                 }
             }
             for &c in self.children(n) {
+                if c.index() >= self.len() {
+                    return Err(TreeError::UnknownNode(c));
+                }
                 if self.parent(c) != Some(n) {
                     return Err(TreeError::UnknownNode(c));
                 }
+                // A node listed twice (under one parent or several) would be
+                // consumed twice by the simulator.
+                if seen_as_child[c.index()] {
+                    return Err(TreeError::DuplicateNode(c));
+                }
+                seen_as_child[c.index()] = true;
             }
         }
         if self.parent(self.root).is_some() {
@@ -418,6 +430,46 @@ mod tests {
         b.add_child(a, 4);
         b.add_child(r, 2);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_trees() {
+        // The public constructors refuse these shapes, so corrupt the
+        // private fields directly: validate() is the last line of defense
+        // for future in-place mutation code.
+
+        // A two-cycle in the parent/children links.
+        let mut t = sample();
+        t.parent[0] = Some(NodeId(1));
+        t.children[1].push(NodeId(0));
+        assert!(matches!(
+            t.validate(),
+            Err(TreeError::NoRoot | TreeError::Cycle(_))
+        ));
+
+        // The same node listed as a child twice.
+        let mut t = sample();
+        t.children[0].push(NodeId(1));
+        assert_eq!(t.validate(), Err(TreeError::DuplicateNode(NodeId(1))));
+
+        // A children list referencing a node outside the tree.
+        let mut t = sample();
+        t.children[0].push(NodeId(99));
+        assert_eq!(t.validate(), Err(TreeError::UnknownNode(NodeId(99))));
+
+        // A child whose parent link points elsewhere.
+        let mut t = sample();
+        t.parent[3] = Some(NodeId(1));
+        assert!(t.validate().is_err());
+
+        // An empty tree.
+        let t = Tree {
+            weights: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+            root: NodeId(0),
+        };
+        assert_eq!(t.validate(), Err(TreeError::Empty));
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn main() {
         .map(|name| registry.get(name).expect("registered"))
         .collect();
     let config = ExperimentConfig::new(schedulers, MemoryBound::Middle);
-    let results = run_experiment(&instances, &config);
+    let results = run_experiment(&instances, &config).expect("feasible bounds");
 
     let profile = results.profile();
     println!(

@@ -56,6 +56,9 @@
 //! assert!(tuned.solve(&tree, m).unwrap().io_volume <= io.total_io);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use oocts_core as core;
 pub use oocts_gen as gen;
 pub use oocts_minmem as minmem;

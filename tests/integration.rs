@@ -66,7 +66,8 @@ fn synth_experiment_end_to_end() {
         .into_iter()
         .map(|i| (i.name, i.tree))
         .collect();
-    let results = run_experiment(&instances, &ExperimentConfig::synth(MemoryBound::Middle));
+    let results = run_experiment(&instances, &ExperimentConfig::synth(MemoryBound::Middle))
+        .expect("feasible bounds");
     assert_eq!(results.results.len(), 8);
     let profile = results.profile();
     // RecExpand and FullRecExpand should (essentially) never lose to
@@ -98,7 +99,7 @@ fn trees_experiment_end_to_end() {
     assert!(!instances.is_empty());
     let mut config = ExperimentConfig::trees(MemoryBound::Middle);
     config.threads = 1;
-    let results = run_experiment(&instances, &config);
+    let results = run_experiment(&instances, &config).expect("feasible bounds");
     // Filtering keeps only instances where I/O can actually be forced.
     assert!(results.results.len() <= instances.len());
     for r in &results.results {
@@ -167,7 +168,7 @@ fn user_defined_scheduler_end_to_end() {
         .map(|n| registry.get(n).unwrap())
         .collect();
     let config = ExperimentConfig::new(schedulers, MemoryBound::Middle);
-    let results = run_experiment(&instances, &config);
+    let results = run_experiment(&instances, &config).expect("feasible bounds");
 
     assert_eq!(results.results.len(), instances.len());
     assert_eq!(results.scheduler_names(), ["RecExpand", "HeaviestLast"]);
