@@ -1,0 +1,155 @@
+//! Perf-trajectory benchmark harness.
+//!
+//! Runs the fixed (family × size × scheduler × threads) matrix of
+//! [`oocts_bench::perf`] and writes a schema-versioned snapshot next to the
+//! current directory:
+//!
+//! ```text
+//! cargo run --release -p oocts-bench --bin bench -- --quick --label ci
+//! # -> BENCH_ci.json
+//! ```
+//!
+//! Modes:
+//!
+//! * default — run the matrix, validate the snapshot in-process, write
+//!   `BENCH_<label>.json` (options: `--quick`, `--label L`, `--seed X`,
+//!   `--threads a,b,c`);
+//! * `--validate FILE` — parse and schema-check an existing snapshot, exit
+//!   non-zero on violation (the CI gate);
+//! * `--emit-corpus DIR` — regenerate the golden regression corpus
+//!   (`*.tree` snapshots + `golden.tsv`) into `DIR`; the committed copy
+//!   lives in `tests/corpus/`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use oocts_bench::perf::{corpus_golden, corpus_instances, run_bench, validate_bench, BenchConfig};
+use oocts_gen::corpus::{format_golden, format_instance};
+use serde::value::Value;
+
+fn main() -> ExitCode {
+    let mut config = BenchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--label" => config.label = value("--label"),
+            "--seed" => config.seed = value("--seed").parse().expect("--seed wants a number"),
+            "--threads" => {
+                config.threads = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads wants numbers"))
+                    .collect();
+                assert!(!config.threads.is_empty(), "--threads wants numbers");
+            }
+            "--validate" => return validate_file(Path::new(&value("--validate"))),
+            "--emit-corpus" => return emit_corpus(Path::new(&value("--emit-corpus")), &config),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench [--quick] [--label L] [--seed X] [--threads a,b,c]\n\
+                     \x20      bench --validate BENCH_x.json\n\
+                     \x20      bench --emit-corpus tests/corpus"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    let snapshot = match run_bench(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_bench(&snapshot) {
+        eprintln!("bench: emitted snapshot violates the schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = config.file_name();
+    if let Err(e) = std::fs::write(&path, snapshot.render_pretty()) {
+        eprintln!("bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let cells = snapshot
+        .get("cells")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    println!("bench: wrote {path} ({cells} cells)");
+    ExitCode::SUCCESS
+}
+
+/// `--validate FILE`: parse + schema-check an existing snapshot.
+fn validate_file(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench: {} is not JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_bench(&snapshot) {
+        Ok(()) => {
+            println!("bench: {} is a valid oocts-bench snapshot", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench: {} violates the schema: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--emit-corpus DIR`: regenerate the golden regression corpus.
+fn emit_corpus(dir: &Path, config: &BenchConfig) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("bench: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let instances = corpus_instances(config.seed);
+    let golden = match corpus_golden(&instances) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for inst in &instances {
+        let text = match format_instance(&inst.name, &inst.tree) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = dir.join(format!("{}.tree", inst.name));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let golden_path = dir.join("golden.tsv");
+    if let Err(e) = std::fs::write(&golden_path, format_golden(&golden)) {
+        eprintln!("bench: cannot write {}: {e}", golden_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench: wrote {} instances and {} golden records to {}",
+        instances.len(),
+        golden.len(),
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -21,8 +21,16 @@
 //! details. Output is a short ASCII performance-profile table plus a CSV
 //! block, ready to be pasted into EXPERIMENTS.md.
 
+//!
+//! Besides the figure binaries, the `bench` binary runs the perf-trajectory
+//! matrix of [`perf`] and emits schema-versioned `BENCH_<label>.json`
+//! snapshots (plus the golden regression corpus under `tests/corpus/` with
+//! `--emit-corpus`).
+
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod perf;
 
 use std::sync::Arc;
 use std::time::Instant;

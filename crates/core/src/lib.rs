@@ -54,6 +54,7 @@ pub mod postorder;
 pub mod recexpand;
 pub mod registry;
 pub mod scheduler;
+pub mod serialize;
 pub mod theorem2;
 
 #[allow(deprecated)]

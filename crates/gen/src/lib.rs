@@ -11,16 +11,24 @@
 //! * [`dataset`] — the two evaluation datasets of Section 6: SYNTH (random
 //!   binary trees, 3000 nodes, weights uniform in `[1, 100]`) and TREES
 //!   (multifrontal assembly trees produced by the [`oocts_sparse`] substrate,
-//!   substituting for the University of Florida collection).
+//!   substituting for the University of Florida collection);
+//! * [`corpus`] — a plain-text snapshot format for instances plus golden
+//!   per-scheduler expectations, backing the persisted regression corpus
+//!   under `tests/corpus/`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::disallowed_methods)]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod corpus;
 pub mod dataset;
 pub mod paper;
 pub mod random;
 
+pub use corpus::{
+    format_golden, format_instance, load_dir, parse_golden, parse_instance, CorpusError,
+    GoldenRecord,
+};
 pub use dataset::{synth_dataset, trees_dataset, DatasetConfig};
 pub use random::{random_binary_tree, random_weights, uniform_attachment_tree};

@@ -26,6 +26,8 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     for needle in [
         "L001 crates/core/src/lib.rs:6:",
+        "L002 crates/bench/Cargo.toml:12:",
+        "L002 crates/bench/Cargo.toml:15:",
         "L002 crates/core/Cargo.toml:7:",
         "L003 crates/core/src/lib.rs:11:",
         "L004 crates/core/src/lib.rs:18:",
@@ -33,8 +35,10 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
     }
-    // L001..L004 once each, L005 twice (both preamble attributes missing).
-    assert!(stdout.contains("oocts-lint: 6 violations"), "{stdout}");
+    // L001/L003/L004 once each, L002 three times (core's registry version,
+    // bench's registry version and git dev-dependency), L005 twice (both
+    // preamble attributes missing).
+    assert!(stdout.contains("oocts-lint: 8 violations"), "{stdout}");
 }
 
 #[test]
@@ -45,7 +49,7 @@ fn json_output_is_machine_readable() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
-    assert!(stdout.starts_with("{\"count\":6,"), "{stdout}");
+    assert!(stdout.starts_with("{\"count\":8,"), "{stdout}");
     assert!(stdout.contains("\"rule\":\"L004\""), "{stdout}");
     assert!(
         stdout.contains("\"file\":\"crates/core/src/lib.rs\""),
@@ -64,7 +68,9 @@ fn rules_filter_limits_the_scan() {
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     assert!(stdout.contains("L002"), "{stdout}");
     assert!(!stdout.contains("L001"), "{stdout}");
-    assert!(stdout.contains("oocts-lint: 1 violation\n"), "{stdout}");
+    // The fixture's three offline-dependency edges, and nothing else.
+    assert!(stdout.contains("oocts-lint: 3 violations\n"), "{stdout}");
+    assert!(stdout.contains("crates/bench/Cargo.toml"), "{stdout}");
 }
 
 #[test]

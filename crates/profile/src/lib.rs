@@ -27,4 +27,6 @@ pub mod runner;
 pub use bounds::{MemoryBound, MemoryBounds};
 pub use metric::performance;
 pub use profile::PerformanceProfile;
-pub use runner::{run_experiment, ExperimentConfig, ExperimentResults, InstanceResult};
+pub use runner::{
+    run_experiment, ExperimentConfig, ExperimentError, ExperimentResults, InstanceResult,
+};

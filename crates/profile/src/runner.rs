@@ -16,6 +16,7 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -98,6 +99,13 @@ pub struct InstanceResult {
     pub io_volumes: Vec<u64>,
     /// Performance `(M + IO)/M` of every strategy.
     pub performances: Vec<f64>,
+    /// In-core peak of every strategy's schedule.
+    pub peak_memories: Vec<u64>,
+    /// Scheduling wall-time of every strategy on this instance (the
+    /// [`oocts_core::scheduler::SolveReport::wall_time`] of each cell). The
+    /// only non-deterministic field of a result; the CSV export and all
+    /// regression comparisons deliberately exclude it.
+    pub wall_times: Vec<Duration>,
 }
 
 impl InstanceResult {
@@ -105,6 +113,37 @@ impl InstanceResult {
     /// restriction used in the right-hand plot of Figure 5.
     pub fn algorithms_differ(&self) -> bool {
         self.io_volumes.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// A failure inside [`run_experiment`], pinned to the cell that produced it.
+///
+/// The runner abandons the remaining cells on the first error; this type
+/// records *which* (instance, scheduler) cell failed so a failure deep in a
+/// thousand-instance matrix is diagnosable without a re-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError {
+    /// Name of the instance whose evaluation failed.
+    pub instance: String,
+    /// Name of the scheduler that failed on it.
+    pub scheduler: String,
+    /// The underlying failure.
+    pub source: TreeError,
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler {} failed on instance {:?}: {}",
+            self.scheduler, self.instance, self.source
+        )
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -181,6 +220,33 @@ impl ExperimentResults {
         }
     }
 
+    /// Total I/O volume of strategy column `a` over all kept instances.
+    pub fn total_io(&self, a: usize) -> u64 {
+        self.results.iter().map(|r| r.io_volumes[a]).sum()
+    }
+
+    /// Mean performance of strategy column `a` over all kept instances
+    /// (`NaN` on an empty result set).
+    pub fn mean_performance(&self, a: usize) -> f64 {
+        let sum: f64 = self.results.iter().map(|r| r.performances[a]).sum();
+        sum / self.results.len() as f64
+    }
+
+    /// Largest in-core peak reported by strategy column `a`.
+    pub fn max_peak(&self, a: usize) -> u64 {
+        self.results
+            .iter()
+            .map(|r| r.peak_memories[a])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total scheduling wall-time of strategy column `a` (sum of the
+    /// per-instance [`oocts_core::scheduler::SolveReport::wall_time`]s).
+    pub fn total_schedule_time(&self, a: usize) -> Duration {
+        self.results.iter().map(|r| r.wall_times[a]).sum()
+    }
+
     /// Per-instance CSV (one row per instance, one I/O column per strategy),
     /// RFC-4180-quoted where needed.
     pub fn to_csv(&self) -> String {
@@ -222,13 +288,15 @@ impl ExperimentResults {
 /// the results. Instance order is preserved.
 ///
 /// # Errors
-/// Returns the first scheduler failure encountered (remaining work is
-/// abandoned); the paper's memory bounds are feasible by construction, so
-/// an error indicates a misconfigured instance or a buggy strategy.
+/// Returns the error of the lowest-indexed failing instance, naming the
+/// (instance, scheduler) cell that failed; the remaining work is abandoned
+/// as soon as any worker records an error. The paper's memory bounds are
+/// feasible by construction, so an error indicates a misconfigured instance
+/// or a buggy strategy.
 pub fn run_experiment(
     instances: &[(String, Tree)],
     config: &ExperimentConfig,
-) -> Result<ExperimentResults, TreeError> {
+) -> Result<ExperimentResults, ExperimentError> {
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -238,7 +306,10 @@ pub fn run_experiment(
     };
 
     let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; instances.len()]);
-    let first_error: Mutex<Option<TreeError>> = Mutex::new(None);
+    // The failing cell with the lowest instance index: with several workers
+    // in flight more than one can fail, and keeping the lowest-indexed one
+    // makes the reported error independent of thread scheduling.
+    let first_error: Mutex<Option<(usize, ExperimentError)>> = Mutex::new(None);
     // Work distribution: each worker claims the next unprocessed instance
     // index; no queue to fill and nothing to disconnect.
     let next = AtomicUsize::new(0);
@@ -259,7 +330,10 @@ pub fn run_experiment(
                     Ok(Some(r)) => results.lock()[i] = Some(r),
                     Ok(None) => {}
                     Err(e) => {
-                        first_error.lock().get_or_insert(e);
+                        let mut slot = first_error.lock();
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, e));
+                        }
                         break;
                     }
                 }
@@ -267,7 +341,7 @@ pub fn run_experiment(
         }
     });
 
-    if let Some(e) = first_error.into_inner() {
+    if let Some((_, e)) = first_error.into_inner() {
         return Err(e);
     }
     Ok(ExperimentResults {
@@ -281,7 +355,7 @@ fn evaluate_instance(
     name: &str,
     tree: &Tree,
     config: &ExperimentConfig,
-) -> Result<Option<InstanceResult>, TreeError> {
+) -> Result<Option<InstanceResult>, ExperimentError> {
     let bounds = MemoryBounds::of(tree);
     if config.filter_interesting && !bounds.is_interesting() {
         return Ok(None);
@@ -289,10 +363,20 @@ fn evaluate_instance(
     let memory = bounds.memory(config.bound);
     let mut io_volumes = Vec::with_capacity(config.schedulers.len());
     let mut performances = Vec::with_capacity(config.schedulers.len());
+    let mut peak_memories = Vec::with_capacity(config.schedulers.len());
+    let mut wall_times = Vec::with_capacity(config.schedulers.len());
     for scheduler in &config.schedulers {
-        let report = scheduler.solve(tree, memory)?;
+        let report = scheduler
+            .solve(tree, memory)
+            .map_err(|source| ExperimentError {
+                instance: name.to_string(),
+                scheduler: scheduler.name(),
+                source,
+            })?;
         io_volumes.push(report.io_volume);
         performances.push(performance(memory, report.io_volume));
+        peak_memories.push(report.peak_memory);
+        wall_times.push(report.wall_time);
     }
     Ok(Some(InstanceResult {
         name: name.to_string(),
@@ -301,6 +385,8 @@ fn evaluate_instance(
         memory,
         io_volumes,
         performances,
+        peak_memories,
+        wall_times,
     }))
 }
 
@@ -444,8 +530,132 @@ mod tests {
                 threads,
                 ..ExperimentConfig::new(vec![Arc::new(AlwaysFails)], MemoryBound::Middle)
             };
-            let err = run_experiment(&instances, &config);
-            assert!(matches!(err, Err(TreeError::Empty)));
+            let err = run_experiment(&instances, &config).unwrap_err();
+            assert_eq!(err.source, TreeError::Empty);
+            assert_eq!(err.scheduler, "AlwaysFails");
+            // The lowest-indexed failing instance wins, whatever the thread
+            // interleaving.
+            assert_eq!(err.instance, "inst-0");
+        }
+    }
+
+    /// A scheduler that fails on exactly one instance (by node count), to
+    /// inject an error in the middle of a concurrent matrix.
+    #[derive(Debug)]
+    struct FailsOn {
+        nodes: usize,
+    }
+
+    impl Scheduler for FailsOn {
+        fn name(&self) -> String {
+            format!("FailsOn(nodes={})", self.nodes)
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            if tree.len() == self.nodes {
+                Err(TreeError::NotTopological(tree.root()))
+            } else {
+                Ok(Schedule::postorder(tree))
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_error_names_the_failing_instance() {
+        // 32 healthy instances, one poisoned mid-matrix: only inst-poison
+        // has 6 nodes. Every worker thread races past it; the error must
+        // still name that exact (instance, scheduler) cell.
+        let mut instances: Vec<_> = (0..32).map(instance).collect();
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(2);
+        let a = b.add_child(r, 3);
+        b.add_child(a, 4);
+        let c = b.add_child(r, 1);
+        let d = b.add_child(c, 5);
+        b.add_child(d, 2);
+        instances.insert(17, ("inst-poison".to_string(), b.build().unwrap()));
+
+        for threads in [2, 8] {
+            let config = ExperimentConfig {
+                threads,
+                ..ExperimentConfig::new(
+                    vec![Arc::new(PostOrderMinIo), Arc::new(FailsOn { nodes: 6 })],
+                    MemoryBound::Middle,
+                )
+            };
+            let err = run_experiment(&instances, &config).unwrap_err();
+            assert_eq!(err.instance, "inst-poison", "threads = {threads}");
+            assert_eq!(err.scheduler, "FailsOn(nodes=6)");
+            assert!(matches!(err.source, TreeError::NotTopological(_)));
+            let rendered = err.to_string();
+            assert!(rendered.contains("inst-poison"), "{rendered}");
+            assert!(rendered.contains("FailsOn"), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let instances: Vec<_> = (0..24).map(instance).collect();
+        let config = ExperimentConfig::synth(MemoryBound::Middle);
+        let run = |threads: usize| {
+            run_experiment(
+                &instances,
+                &ExperimentConfig {
+                    threads,
+                    ..config.clone()
+                },
+            )
+            .expect("feasible bounds")
+        };
+        let single = run(1);
+        let parallel = run(8);
+        assert_eq!(single.results.len(), parallel.results.len());
+        for (a, b) in single.results.iter().zip(&parallel.results) {
+            // Everything except wall-clock time is identical, order included.
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.bounds, b.bounds);
+            assert_eq!(a.memory, b.memory);
+            assert_eq!(a.io_volumes, b.io_volumes);
+            assert_eq!(a.performances, b.performances);
+            assert_eq!(a.peak_memories, b.peak_memories);
+        }
+        // And the CSV export is byte-identical.
+        assert_eq!(single.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn per_cell_measurements_are_plumbed_through() {
+        let instances: Vec<_> = (0..6).map(instance).collect();
+        let config = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::new(trees_schedulers(), MemoryBound::Middle)
+        };
+        let res = run_experiment(&instances, &config).expect("feasible bounds");
+        for r in &res.results {
+            assert_eq!(r.peak_memories.len(), 3);
+            assert_eq!(r.wall_times.len(), 3);
+            // A schedule can never run below the structural lower bound.
+            for &peak in &r.peak_memories {
+                assert!(peak >= r.bounds.lower_bound);
+            }
+        }
+        for a in 0..3 {
+            assert_eq!(
+                res.total_io(a),
+                res.results.iter().map(|r| r.io_volumes[a]).sum::<u64>()
+            );
+            assert!(res.mean_performance(a) >= 1.0);
+            assert!(res.max_peak(a) >= res.results[0].bounds.lower_bound);
+            // Summed wall-time is finite and consistent with the cells.
+            let total = res.total_schedule_time(a);
+            assert_eq!(
+                total,
+                res.results
+                    .iter()
+                    .map(|r| r.wall_times[a])
+                    .sum::<std::time::Duration>()
+            );
         }
     }
 

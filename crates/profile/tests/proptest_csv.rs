@@ -1,0 +1,148 @@
+//! Property tests of the `ExperimentResults::to_csv` export: instance names
+//! containing commas, quotes, CR/LF and other hostile characters must
+//! round-trip losslessly under RFC-4180 quoting.
+
+use std::sync::Arc;
+
+use oocts_core::scheduler::{PostOrderMinIo, Scheduler};
+use oocts_profile::bounds::MemoryBound;
+use oocts_profile::runner::{run_experiment, ExperimentConfig};
+use oocts_tree::{Tree, TreeBuilder};
+use proptest::prelude::*;
+
+/// The character palette names are drawn from: every RFC-4180 special
+/// character, plus benign ASCII and a multi-byte code point.
+const PALETTE: [char; 12] = ['a', 'Z', '7', ',', '"', '\n', '\r', ' ', '-', '_', '.', 'é'];
+
+/// A random instance name of length `0..=10` over [`PALETTE`].
+fn name_strategy() -> impl Strategy<Value = String> {
+    (0usize..=10).prop_flat_map(|len| {
+        proptest::collection::vec(0usize..PALETTE.len(), len)
+            .prop_map(|indices| indices.into_iter().map(|i| PALETTE[i]).collect())
+    })
+}
+
+/// `1..=6` random hostile names.
+fn names_strategy() -> impl Strategy<Value = Vec<String>> {
+    (1usize..=6).prop_flat_map(|n| proptest::collection::vec(name_strategy(), n))
+}
+
+fn tiny_tree() -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.add_root(3);
+    b.add_child(root, 2);
+    b.build().unwrap()
+}
+
+/// A strict RFC-4180 reader: `"`-quoted cells with `""` escapes, `,` cell
+/// separators, `\n` record separators. Panics on malformed input — a
+/// malformed export *is* the bug this suite hunts.
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut cell = String::new();
+    let mut cell_started = false;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push(c);
+            }
+        } else {
+            match c {
+                '"' if !cell_started => {
+                    in_quotes = true;
+                    cell_started = true;
+                }
+                '"' => panic!("stray quote inside an unquoted cell"),
+                ',' => {
+                    record.push(std::mem::take(&mut cell));
+                    cell_started = false;
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut cell));
+                    records.push(std::mem::take(&mut record));
+                    cell_started = false;
+                }
+                '\r' => panic!("unquoted CR in the export"),
+                other => {
+                    cell.push(other);
+                    cell_started = true;
+                }
+            }
+        }
+    }
+    assert!(!in_quotes, "unterminated quoted cell");
+    assert!(
+        !cell_started && cell.is_empty() && record.is_empty(),
+        "the export must end with a newline"
+    );
+    records
+}
+
+/// The quoting rule of `to_csv`, reapplied cell-by-cell: serializing the
+/// parsed table must reproduce the export byte-identically.
+fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        for (i, cell) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if cell.contains(['"', ',', '\n', '\r']) {
+                out.push('"');
+                for c in cell.chars() {
+                    if c == '"' {
+                        out.push('"');
+                    }
+                    out.push(c);
+                }
+                out.push('"');
+            } else {
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Hostile instance names survive a CSV round-trip unchanged, and the
+    /// export re-serializes byte-identically.
+    #[test]
+    fn hostile_names_round_trip_under_rfc4180(names in names_strategy()) {
+        let instances: Vec<(String, Tree)> =
+            names.iter().map(|n| (n.clone(), tiny_tree())).collect();
+        let schedulers: Vec<Arc<dyn Scheduler>> = vec![Arc::new(PostOrderMinIo)];
+        let mut config = ExperimentConfig::new(schedulers, MemoryBound::Middle);
+        config.threads = 1;
+        let results = run_experiment(&instances, &config).unwrap();
+
+        let csv = results.to_csv();
+        let records = parse_csv(&csv);
+
+        // One header plus one record per instance, all of equal width.
+        prop_assert_eq!(records.len(), names.len() + 1);
+        let width = records[0].len();
+        for record in &records {
+            prop_assert_eq!(record.len(), width);
+        }
+        // The first column reproduces every name losslessly, in order.
+        for (record, name) in records[1..].iter().zip(&names) {
+            prop_assert_eq!(&record[0], name);
+        }
+        // And re-serializing the parsed table reproduces the bytes.
+        prop_assert_eq!(write_csv(&records), csv);
+    }
+}

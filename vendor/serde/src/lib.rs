@@ -1,8 +1,13 @@
 //! Offline stand-in for `serde`.
 //!
 //! Provides the `Serialize`/`Deserialize` names (trait + derive macro) that
-//! the workspace attaches to its data structures. No serialization is ever
-//! performed at runtime, so the traits carry no methods.
+//! the workspace attaches to its data structures. The marker traits carry no
+//! methods; actual (de)serialization goes through the [`value`] module, a
+//! minimal `serde_json::Value`-like document model (ordered objects, compact
+//! and pretty writers, a strict parser) that the `BENCH_*.json` emitter and
+//! the report serialization helpers build on.
+
+pub mod value;
 
 pub use serde_derive::{Deserialize, Serialize};
 
