@@ -52,6 +52,7 @@ pub fn brute_force_min_io(tree: &Tree, memory: u64) -> Result<(Schedule, u64), T
     Ok((Schedule::new(best.0), best.1))
 }
 
+// lint: allow(L008, exhaustive oracle; factorial blow-up caps it to tiny trees long before stack depth matters)
 fn explore(
     tree: &Tree,
     memory: u64,

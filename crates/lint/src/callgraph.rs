@@ -1,0 +1,1258 @@
+//! Workspace call-graph construction for the transitive rules (L006–L008).
+//!
+//! The graph is built from the same comment- and string-aware lexer output
+//! the line rules use — no full parser. Per library file the builder tracks
+//! brace depth to discover `impl`/`trait` blocks and `fn` items (with their
+//! body ranges), then extracts call expressions from the body text and
+//! resolves them against a nominal index of every workspace function:
+//!
+//! * **bare calls** `helper(...)` resolve to free functions named `helper`,
+//!   same file first, then the calling crate, then its workspace
+//!   dependencies;
+//! * **qualified calls** `Type::assoc(...)` resolve through the owner-type
+//!   index (`Self::` uses the enclosing `impl`); a qualifier that owns no
+//!   workspace `impl` (e.g. `Vec`, `String`) is external and produces no
+//!   edge;
+//! * **method sugar** `self.method(...)` resolves within the enclosing
+//!   owner's method set (*strong* edge); `expr.method(...)` resolves
+//!   nominally to every workspace method of that name (*dynamic* edges —
+//!   the over-approximation of dynamic dispatch), except for a blocklist of
+//!   ubiquitous std names (`len`, `push`, `iter`, …) that would connect
+//!   everything to everything.
+//!
+//! Edges never cross the crate-dependency graph backwards: a function can
+//! only call into its own crate or a (transitive) workspace dependency.
+//! Calls that *look* workspace-bound but match nothing are recorded as
+//! unresolved and reported under `--verbose`.
+//!
+//! On top of the edges, [`CallGraph::build`] runs a reverse-worklist
+//! fixpoint for two predicates — "reaches an allocating API" and "reaches a
+//! panic site" — which power L006 and L007, and the strong-edge subgraph
+//! feeds the L008 cycle detector. `to_dot` renders the whole graph for
+//! auditing (`--emit-callgraph`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::no_alloc::ALLOCATING;
+use crate::rules::no_panics::BANNED;
+use crate::workspace::{FileKind, SourceFile, Workspace};
+
+/// Method names so common in std that nominal resolution over them is
+/// meaningless noise; method-sugar calls to these never produce edges.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_micros",
+    "as_mut",
+    "as_nanos",
+    "as_ref",
+    "as_secs_f64",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "eq_ignore_ascii_case",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "index",
+    "insert",
+    "into_iter",
+    "is_char_boundary",
+    "is_dir",
+    "is_empty",
+    "is_file",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "next_back",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "position",
+    "powi",
+    "push",
+    "push_str",
+    "remove",
+    "repeat",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "split_once",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "then_some",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_end_matches",
+    "trim_start",
+    "trim_start_matches",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "wrapping_add",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Keywords and binding forms that can precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// One workspace function discovered by the builder.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function name (last identifier after `fn`).
+    pub name: String,
+    /// The enclosing `impl`/`trait` owner type, if any (`None` for free
+    /// functions, including functions nested in other functions).
+    pub owner: Option<String>,
+    /// Package name of the defining crate.
+    pub crate_name: String,
+    /// Path of the defining file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body range (1-based, inclusive), from the signature line to the
+    /// closing brace.
+    pub body: (usize, usize),
+    /// Line/needle of the first allocating call in the body (L003-waived
+    /// lines excluded), if any.
+    pub alloc_site: Option<(usize, String)>,
+    /// Line/name of the first panicking construct in the body (L001-waived
+    /// lines excluded), if any.
+    pub panic_site: Option<(usize, String)>,
+}
+
+impl FnInfo {
+    /// `crate::Owner::name`-style display label.
+    pub fn label(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{}::{}::{}", self.crate_name, o, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// How confident the resolver is about an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Bare call, qualified path, `Self::`, or `self.method(…)` — the
+    /// target is nominally pinned down. Cycle detection (L008) uses only
+    /// these.
+    Strong,
+    /// Method sugar on an arbitrary receiver — the nominal
+    /// over-approximation of dynamic dispatch. Reachability (L006/L007)
+    /// follows these too.
+    Dynamic,
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Index of the calling function in [`CallGraph::fns`].
+    pub caller: usize,
+    /// Index of the called function.
+    pub callee: usize,
+    /// 1-based call-site line (in the caller's file).
+    pub line: usize,
+    /// Resolution confidence.
+    pub kind: EdgeKind,
+}
+
+/// A call that looked workspace-bound but matched no known function.
+#[derive(Debug, Clone)]
+pub struct UnresolvedCall {
+    /// File of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+    /// The call text as written (`Qualifier::name` or `name`).
+    pub text: String,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Every discovered library function, in (file, line) order.
+    pub fns: Vec<FnInfo>,
+    /// Every resolved edge.
+    pub edges: Vec<Edge>,
+    /// Outgoing edge indices per function.
+    pub out: Vec<Vec<usize>>,
+    /// `true` if the function locally allocates or any callee
+    /// (transitively) does.
+    pub reaches_alloc: Vec<bool>,
+    /// `true` if the function locally panics or any callee (transitively)
+    /// does.
+    pub reaches_panic: Vec<bool>,
+    /// Calls the resolver could not pin to a workspace function.
+    pub unresolved: Vec<UnresolvedCall>,
+}
+
+/// A block opened by `impl`/`trait`, with the owner type it contributes.
+struct OwnerBlock {
+    owner: String,
+    body: (usize, usize),
+}
+
+impl CallGraph {
+    /// Builds the call graph over the library code of `ws`.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let deps = transitive_deps(ws);
+        let mut graph = CallGraph::default();
+        let mut fn_files: Vec<usize> = Vec::new();
+
+        // Pass 1: discover functions (and their owners) in every library
+        // file outside `#[cfg(test)]` regions.
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let owners = owner_blocks(file);
+            for (name, line) in fn_defs(file) {
+                if file.in_test_region(line) {
+                    continue;
+                }
+                let Some(body) = fn_body(file, line) else {
+                    continue; // declaration without a body (trait method)
+                };
+                let owner = owners
+                    .iter()
+                    .filter(|b| b.body.0 <= line && line <= b.body.1)
+                    .min_by_key(|b| b.body.1 - b.body.0)
+                    .map(|b| b.owner.clone());
+                graph.fns.push(FnInfo {
+                    name,
+                    owner,
+                    crate_name: file.crate_name.clone(),
+                    file: file.rel_path.clone(),
+                    line,
+                    body,
+                    alloc_site: local_site(file, body, &allocating_pairs(), "L003"),
+                    panic_site: local_site(file, body, &BANNED, "L001"),
+                });
+                fn_files.push(file_idx);
+            }
+        }
+        graph.out = vec![Vec::new(); graph.fns.len()];
+
+        // Nominal indexes.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in graph.fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+            if let Some(owner) = &f.owner {
+                methods_by_name.entry(&f.name).or_default().push(i);
+                by_owner
+                    .entry((owner.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        // Pass 2: extract and resolve calls.
+        let mut edges: Vec<Edge> = Vec::new();
+        for (caller, &file_idx) in fn_files.iter().enumerate() {
+            let file = &ws.files[file_idx];
+            let caller_crate = graph.fns[caller].crate_name.clone();
+            let visible = |i: usize, g: &CallGraph| -> bool {
+                let c = &g.fns[i].crate_name;
+                c == &caller_crate
+                    || deps
+                        .get(caller_crate.as_str())
+                        .is_some_and(|d| d.contains(c.as_str()))
+            };
+            let mut seen: BTreeSet<(usize, usize, bool)> = BTreeSet::new();
+            for call in calls_in_body(file, &graph.fns[caller]) {
+                let (candidates, kind) = match &call.shape {
+                    CallShape::Bare(name) => {
+                        // Free functions only; same file narrows first.
+                        let all: Vec<usize> = by_name
+                            .get(name.as_str())
+                            .map(|v| {
+                                v.iter()
+                                    .copied()
+                                    .filter(|&i| graph.fns[i].owner.is_none() && visible(i, &graph))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        let same_file: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&i| graph.fns[i].file == file.rel_path)
+                            .collect();
+                        let chosen = if same_file.is_empty() { all } else { same_file };
+                        if chosen.is_empty() {
+                            graph.unresolved.push(UnresolvedCall {
+                                file: file.rel_path.clone(),
+                                line: call.line,
+                                text: name.clone(),
+                            });
+                        }
+                        (chosen, EdgeKind::Strong)
+                    }
+                    CallShape::Qualified(qual, name) => {
+                        let owner_name = if qual == "Self" {
+                            graph.fns[caller].owner.clone()
+                        } else {
+                            Some(qual.clone())
+                        };
+                        match owner_name {
+                            Some(o) if o.chars().next().is_some_and(|c| c.is_uppercase()) => {
+                                let hits: Vec<usize> = by_owner
+                                    .get(&(o.as_str(), name.as_str()))
+                                    .map(|v| {
+                                        v.iter().copied().filter(|&i| visible(i, &graph)).collect()
+                                    })
+                                    .unwrap_or_default();
+                                if hits.is_empty() {
+                                    // A type that owns workspace impls but
+                                    // not this method is worth flagging; a
+                                    // type with no workspace impls at all
+                                    // (Vec, String, …) is external.
+                                    let known_owner =
+                                        by_owner.keys().any(|(ow, _)| *ow == o.as_str());
+                                    if known_owner {
+                                        graph.unresolved.push(UnresolvedCall {
+                                            file: file.rel_path.clone(),
+                                            line: call.line,
+                                            text: format!("{o}::{name}"),
+                                        });
+                                    }
+                                }
+                                (hits, EdgeKind::Strong)
+                            }
+                            _ => {
+                                // Module-qualified free function
+                                // (`callees::helper(…)`, `crate::x::f(…)`).
+                                let hits: Vec<usize> = by_name
+                                    .get(name.as_str())
+                                    .map(|v| {
+                                        v.iter()
+                                            .copied()
+                                            .filter(|&i| {
+                                                graph.fns[i].owner.is_none() && visible(i, &graph)
+                                            })
+                                            .collect()
+                                    })
+                                    .unwrap_or_default();
+                                if hits.is_empty() {
+                                    graph.unresolved.push(UnresolvedCall {
+                                        file: file.rel_path.clone(),
+                                        line: call.line,
+                                        text: format!("{qual}::{name}"),
+                                    });
+                                }
+                                (hits, EdgeKind::Strong)
+                            }
+                        }
+                    }
+                    CallShape::SelfMethod(name) => {
+                        let owner = graph.fns[caller].owner.clone();
+                        let strong: Vec<usize> = owner
+                            .as_deref()
+                            .and_then(|o| by_owner.get(&(o, name.as_str())))
+                            .map(|v| v.iter().copied().filter(|&i| visible(i, &graph)).collect())
+                            .unwrap_or_default();
+                        if !strong.is_empty() {
+                            (strong, EdgeKind::Strong)
+                        } else {
+                            // A trait default calling a required method:
+                            // fall back to every impl (dynamic dispatch).
+                            let dynamic: Vec<usize> = methods_by_name
+                                .get(name.as_str())
+                                .map(|v| {
+                                    v.iter().copied().filter(|&i| visible(i, &graph)).collect()
+                                })
+                                .unwrap_or_default();
+                            if dynamic.is_empty() {
+                                graph.unresolved.push(UnresolvedCall {
+                                    file: file.rel_path.clone(),
+                                    line: call.line,
+                                    text: format!("self.{name}"),
+                                });
+                            }
+                            (dynamic, EdgeKind::Dynamic)
+                        }
+                    }
+                    CallShape::Method(name) => {
+                        let hits: Vec<usize> = methods_by_name
+                            .get(name.as_str())
+                            .map(|v| v.iter().copied().filter(|&i| visible(i, &graph)).collect())
+                            .unwrap_or_default();
+                        // No `unresolved` record here: an unmatched method
+                        // name is almost always a std/vendor method.
+                        (hits, EdgeKind::Dynamic)
+                    }
+                };
+                for callee in candidates {
+                    if seen.insert((callee, call.line, kind == EdgeKind::Strong)) {
+                        edges.push(Edge {
+                            caller,
+                            callee,
+                            line: call.line,
+                            kind,
+                        });
+                    }
+                }
+            }
+        }
+        for (idx, e) in edges.iter().enumerate() {
+            graph.out[e.caller].push(idx);
+        }
+        graph.edges = edges;
+
+        graph.reaches_alloc = graph.propagate(|f| f.alloc_site.is_some());
+        graph.reaches_panic = graph.propagate(|f| f.panic_site.is_some());
+        graph
+    }
+
+    /// Reverse-worklist fixpoint: `true` for every function whose body
+    /// satisfies `local`, plus everything that can reach one along edges.
+    fn propagate(&self, local: impl Fn(&FnInfo) -> bool) -> Vec<bool> {
+        let mut reaches: Vec<bool> = self.fns.iter().map(local).collect();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for e in &self.edges {
+            rev[e.callee].push(e.caller);
+        }
+        let mut work: Vec<usize> = (0..self.fns.len()).filter(|&i| reaches[i]).collect();
+        while let Some(f) = work.pop() {
+            for &caller in &rev[f] {
+                if !reaches[caller] {
+                    reaches[caller] = true;
+                    work.push(caller);
+                }
+            }
+        }
+        reaches
+    }
+
+    /// Shortest call path from `from` to the nearest function for which
+    /// `target` holds, following all edges (BFS). Returns the function
+    /// indices including both endpoints; `None` if unreachable.
+    pub fn path_to(&self, from: usize, target: impl Fn(usize) -> bool) -> Option<Vec<usize>> {
+        if target(from) {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut visited = vec![false; self.fns.len()];
+        visited[from] = true;
+        while let Some(f) = queue.pop_front() {
+            for &eidx in &self.out[f] {
+                let c = self.edges[eidx].callee;
+                if visited[c] {
+                    continue;
+                }
+                visited[c] = true;
+                prev[c] = Some(f);
+                if target(c) {
+                    let mut path = vec![c];
+                    let mut cur = c;
+                    while let Some(p) = prev[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(c);
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components of the **strong**-edge subgraph
+    /// restricted to functions for which `scope` holds. Returns only
+    /// genuine cycles: components of size ≥ 2, or single functions with a
+    /// strong self-loop. Components are ordered by their first (file, line)
+    /// member, members likewise.
+    pub fn cycles(&self, scope: impl Fn(&FnInfo) -> bool) -> Vec<Vec<usize>> {
+        let n = self.fns.len();
+        let in_scope: Vec<bool> = self.fns.iter().map(scope).collect();
+        let succ = |f: usize| -> Vec<usize> {
+            self.out[f]
+                .iter()
+                .filter_map(|&e| {
+                    let edge = &self.edges[e];
+                    (edge.kind == EdgeKind::Strong && in_scope[edge.callee]).then_some(edge.callee)
+                })
+                .collect()
+        };
+        // Iterative Kosaraju: order by finish time, then collect on the
+        // transposed graph.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] || !in_scope[start] {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((f, expanded)) = stack.pop() {
+                if expanded {
+                    order.push(f);
+                    continue;
+                }
+                if seen[f] {
+                    continue;
+                }
+                seen[f] = true;
+                stack.push((f, true));
+                for c in succ(f) {
+                    if !seen[c] {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.kind == EdgeKind::Strong && in_scope[e.caller] && in_scope[e.callee] {
+                rev[e.callee].push(e.caller);
+            }
+        }
+        let mut component = vec![usize::MAX; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for &start in order.iter().rev() {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut members = Vec::new();
+            let mut stack = vec![start];
+            component[start] = id;
+            while let Some(f) = stack.pop() {
+                members.push(f);
+                for &p in &rev[f] {
+                    if component[p] == usize::MAX {
+                        component[p] = id;
+                        stack.push(p);
+                    }
+                }
+            }
+            components.push(members);
+        }
+        let mut cycles: Vec<Vec<usize>> = components
+            .into_iter()
+            .filter(|members| {
+                members.len() > 1
+                    || members.iter().any(|&f| {
+                        self.out[f].iter().any(|&e| {
+                            self.edges[e].kind == EdgeKind::Strong && self.edges[e].callee == f
+                        })
+                    })
+            })
+            .collect();
+        for members in &mut cycles {
+            members.sort_by(|&a, &b| {
+                (self.fns[a].file.as_str(), self.fns[a].line)
+                    .cmp(&(self.fns[b].file.as_str(), self.fns[b].line))
+            });
+        }
+        cycles.sort_by(|a, b| {
+            (self.fns[a[0]].file.as_str(), self.fns[a[0]].line)
+                .cmp(&(self.fns[b[0]].file.as_str(), self.fns[b[0]].line))
+        });
+        cycles
+    }
+
+    /// The function defined at `file:line`, if any (used to attach
+    /// `no_alloc` annotations to graph nodes).
+    pub fn fn_at(&self, file: &str, line_range: (usize, usize)) -> Option<usize> {
+        (0..self.fns.len()).find(|&i| {
+            self.fns[i].file == file
+                && self.fns[i].line >= line_range.0
+                && self.fns[i].line <= line_range.1
+        })
+    }
+
+    /// Renders the graph in Graphviz DOT format: solid edges are strong,
+    /// dashed edges dynamic; nodes carry `crate::Owner::fn` labels with
+    /// their definition site.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph callgraph {\n  rankdir = LR;\n  node [shape = box];\n");
+        for (i, f) in self.fns.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  f{i} [label=\"{}\\n{}:{}\"];",
+                f.label(),
+                f.file,
+                f.line
+            );
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Strong => "",
+                EdgeKind::Dynamic => " [style=dashed]",
+            };
+            let _ = writeln!(out, "  f{} -> f{}{style};", e.caller, e.callee);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The allocating needles with display names (needle, shown-name).
+fn allocating_pairs() -> Vec<(&'static str, &'static str)> {
+    ALLOCATING
+        .iter()
+        .map(|n| (*n, n.trim_matches(['.', '(', ':'])))
+        .collect()
+}
+
+/// The first occurrence of any needle in the body, skipping lines waived
+/// for `waive_rule` (a site the local rule accepts as infallible or
+/// non-allocating must not propagate).
+fn local_site(
+    file: &SourceFile,
+    body: (usize, usize),
+    needles: &[(&str, &str)],
+    waive_rule: &str,
+) -> Option<(usize, String)> {
+    for line in body.0..=body.1 {
+        if file.waived(waive_rule, line) || file.in_test_region(line) {
+            continue;
+        }
+        let code = &file.lexed.lines[line - 1].code;
+        for (needle, name) in needles {
+            if code.contains(needle) {
+                return Some((line, (*name).to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// All `impl`/`trait` blocks of a file, with the owner type each
+/// contributes (`impl Tree`, `impl Display for Tree` and `trait Scheduler`
+/// own `Tree`, `Tree` and `Scheduler` respectively).
+fn owner_blocks(file: &SourceFile) -> Vec<OwnerBlock> {
+    let mut blocks = Vec::new();
+    for (idx, l) in file.lexed.lines.iter().enumerate() {
+        let line = idx + 1;
+        let code = l.code.trim_start();
+        let header = if let Some(rest) = strip_item_keyword(code, "impl") {
+            let header = collect_header(file, line);
+            Some(owner_of_impl(&header).or_else(|| first_type_ident(rest)))
+        } else if strip_item_keyword(code, "trait").is_some()
+            || code.starts_with("pub trait ")
+            || code.contains(" trait ")
+        {
+            let header = collect_header(file, line);
+            Some(trait_name(&header))
+        } else {
+            None
+        };
+        if let Some(Some(owner)) = header {
+            if let Some(body) = brace_body(file, line) {
+                blocks.push(OwnerBlock { owner, body });
+            }
+        }
+    }
+    blocks
+}
+
+/// Strips a leading item keyword (with optional `pub`/`pub(crate)`
+/// visibility) and returns the remainder, or `None`.
+fn strip_item_keyword<'a>(code: &'a str, kw: &str) -> Option<&'a str> {
+    let mut rest = code;
+    if let Some(r) = rest.strip_prefix("pub") {
+        rest = r.trim_start();
+        if let Some(r) = rest.strip_prefix('(') {
+            rest = r.split_once(')')?.1.trim_start();
+        }
+    }
+    let r = rest.strip_prefix(kw)?;
+    if r.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+        return None; // `impl` was a prefix of a longer identifier
+    }
+    Some(r.trim_start_matches(|c: char| c.is_whitespace()))
+}
+
+/// Joins the code of the header lines from `line` to the opening `{`.
+fn collect_header(file: &SourceFile, line: usize) -> String {
+    let mut header = String::new();
+    for l in &file.lexed.lines[line - 1..] {
+        header.push_str(&l.code);
+        header.push(' ');
+        if l.code.contains('{') {
+            break;
+        }
+    }
+    header
+}
+
+/// The self type of an `impl … for Type` header, generics stripped.
+fn owner_of_impl(header: &str) -> Option<String> {
+    let pos = header.find(" for ")?;
+    first_type_ident(&header[pos + 5..])
+}
+
+/// The first type identifier of a (possibly `&`-, path- or generics-
+/// decorated) type expression.
+fn first_type_ident(s: &str) -> Option<String> {
+    let mut rest = s.trim_start();
+    // Skip generic parameter lists (`impl<T: Clone> …`).
+    while let Some(r) = rest.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut consumed = 0usize;
+        for (i, c) in r.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        consumed = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if consumed == 0 {
+            return None;
+        }
+        rest = r[consumed..].trim_start();
+    }
+    let rest = rest.trim_start_matches(['&', ' ']);
+    let mut last = None;
+    let mut seg = String::new();
+    for c in rest.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            seg.push(c);
+        } else if c == ':' && !seg.is_empty() {
+            last = Some(std::mem::take(&mut seg));
+        } else {
+            break;
+        }
+    }
+    if seg.is_empty() {
+        return last;
+    }
+    let _ = last;
+    Some(seg)
+}
+
+/// The name of a `trait Name …` header.
+fn trait_name(header: &str) -> Option<String> {
+    let pos = crate::rules::find_word(header, "trait")?;
+    let rest = header[pos + 5..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// `(name, line)` of every `fn` item of a file (including nested fns).
+fn fn_defs(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut defs = Vec::new();
+    for (idx, l) in file.lexed.lines.iter().enumerate() {
+        let code = &l.code;
+        let mut from = 0usize;
+        while let Some(pos) = code[from..].find("fn ") {
+            let abs = from + pos;
+            let bounded = abs == 0
+                || !code[..abs]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let name: String = code[abs + 3..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if bounded && !name.is_empty() {
+                defs.push((name, idx + 1));
+            }
+            from = abs + 3;
+        }
+    }
+    defs
+}
+
+/// The body range of the `fn` starting at `line`, or `None` when the item
+/// is a bodyless declaration (a `;` closes the signature before any `{`).
+fn fn_body(file: &SourceFile, line: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut sig_depth = 0i64; // parens/brackets/angles of the signature
+    let mut opened = false;
+    for (off, l) in file.lexed.lines[line - 1..].iter().enumerate() {
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((line, line + off));
+                    }
+                }
+                '(' | '[' if !opened => sig_depth += 1,
+                ')' | ']' if !opened => sig_depth -= 1,
+                ';' if !opened && sig_depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    opened.then_some((line, file.lexed.lines.len()))
+}
+
+/// Brace-matched body of a non-fn item (impl/trait) starting at `line`.
+fn brace_body(file: &SourceFile, line: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (off, l) in file.lexed.lines[line - 1..].iter().enumerate() {
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((line, line + off));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    opened.then_some((line, file.lexed.lines.len()))
+}
+
+/// The shape of one extracted call expression.
+enum CallShape {
+    /// `helper(…)`.
+    Bare(String),
+    /// `Qualifier::name(…)` (last qualifier segment kept).
+    Qualified(String, String),
+    /// `self.name(…)`.
+    SelfMethod(String),
+    /// `expr.name(…)`.
+    Method(String),
+}
+
+struct CallSite {
+    shape: CallShape,
+    line: usize,
+}
+
+/// Extracts the call expressions of a function body, skipping the
+/// signature (nothing before the opening `{` is a call) and the bodies of
+/// *nested* `fn` items (their calls belong to the nested function).
+fn calls_in_body(file: &SourceFile, f: &FnInfo) -> Vec<CallSite> {
+    let (start, end) = f.body;
+    let mut calls = Vec::new();
+    // Column where the body opens on the first line (skip the signature).
+    let mut sig_done = false;
+    // Line ranges of nested fn items inside this body.
+    let nested: Vec<(usize, usize)> = fn_defs(file)
+        .into_iter()
+        .filter(|&(_, l)| l > start && l <= end)
+        .filter_map(|(_, l)| fn_body(file, l))
+        .collect();
+    for line in start..=end {
+        if nested.iter().any(|&(a, b)| a <= line && line <= b) {
+            continue;
+        }
+        let code = &file.lexed.lines[line - 1].code;
+        let scan_from = if !sig_done {
+            match code.find('{') {
+                Some(col) => {
+                    sig_done = true;
+                    col + 1
+                }
+                None => continue,
+            }
+        } else {
+            0
+        };
+        let chars: Vec<char> = code.chars().collect();
+        for open in scan_from..chars.len() {
+            if chars[open] != '(' {
+                continue;
+            }
+            // Identifier immediately before the paren.
+            let mut i = open;
+            while i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+                i -= 1;
+            }
+            if i == open {
+                continue; // plain grouping paren
+            }
+            let name: String = chars[i..open].iter().collect();
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            let before = if i >= 1 { chars.get(i - 1) } else { None };
+            match before {
+                Some('!') => continue, // macro invocation
+                Some(':') if i >= 2 && chars[i - 2] == ':' => {
+                    // Qualified: collect the segment before `::`.
+                    let mut q = i - 2;
+                    while q > 0 && (chars[q - 1].is_alphanumeric() || chars[q - 1] == '_') {
+                        q -= 1;
+                    }
+                    let qual: String = chars[q..i - 2].iter().collect();
+                    if qual.is_empty() {
+                        continue; // turbofish or `<T>::f` — give up
+                    }
+                    calls.push(CallSite {
+                        shape: CallShape::Qualified(qual, name),
+                        line,
+                    });
+                }
+                Some('.') => {
+                    if STD_METHODS.contains(&name.as_str()) {
+                        continue;
+                    }
+                    // Receiver token before the dot.
+                    let mut r = i - 1;
+                    while r > 0 && (chars[r - 1].is_alphanumeric() || chars[r - 1] == '_') {
+                        r -= 1;
+                    }
+                    let recv: String = chars[r..i - 1].iter().collect();
+                    let shape = if recv == "self" && (r == 0 || chars[r - 1] != '.') {
+                        CallShape::SelfMethod(name)
+                    } else {
+                        CallShape::Method(name)
+                    };
+                    calls.push(CallSite { shape, line });
+                }
+                _ => {
+                    // Bare call; tuple-struct constructors and enum
+                    // variants are uppercase — skip them.
+                    if name.chars().next().is_some_and(|c| c.is_lowercase()) {
+                        calls.push(CallSite {
+                            shape: CallShape::Bare(name),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    calls
+}
+
+/// Member-name → transitive workspace dependency names, from the scanned
+/// manifests (a dependency that is not a member — the vendored stubs — is
+/// ignored).
+fn transitive_deps(ws: &Workspace) -> BTreeMap<&str, BTreeSet<&str>> {
+    let member_names: BTreeSet<&str> = ws.members.iter().map(|m| m.name.as_str()).collect();
+    let mut direct: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for m in &ws.manifests {
+        let entry = direct.entry(m.crate_name.as_str()).or_default();
+        for d in &m.deps {
+            if member_names.contains(d.name.as_str()) {
+                entry.insert(d.name.as_str());
+            }
+        }
+    }
+    // Closure by iteration (the member count is tiny).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let mut add: BTreeSet<&str> = BTreeSet::new();
+            for d in deps.iter() {
+                if let Some(dd) = snapshot.get(d) {
+                    add.extend(dd.iter().copied());
+                }
+            }
+            let before = deps.len();
+            deps.extend(add);
+            changed |= deps.len() != before;
+        }
+    }
+    direct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::{Dependency, Manifest, Member};
+    use std::path::PathBuf;
+
+    fn make_ws(files: Vec<(&str, &str, &str)>, deps: Vec<(&str, Vec<&str>)>) -> Workspace {
+        let members: Vec<Member> = files
+            .iter()
+            .map(|(c, _, _)| Member {
+                name: c.to_string(),
+                rel_dir: format!("crates/{c}"),
+                has_lib: true,
+            })
+            .collect();
+        let manifests = deps
+            .into_iter()
+            .map(|(c, ds)| Manifest {
+                rel_path: format!("crates/{c}/Cargo.toml"),
+                crate_name: c.to_string(),
+                deps: ds
+                    .into_iter()
+                    .map(|d| Dependency {
+                        name: d.to_string(),
+                        line: 1,
+                        offline: true,
+                        problem: String::new(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let files = files
+            .into_iter()
+            .map(|(crate_name, path, src)| {
+                let lexed = lexer::lex(src);
+                let waivers = waiver::parse_waivers(&lexed);
+                let test_regions = lexed.test_regions();
+                SourceFile {
+                    rel_path: path.to_string(),
+                    crate_name: crate_name.to_string(),
+                    kind: FileKind::Lib,
+                    lexed,
+                    waivers,
+                    test_regions,
+                }
+            })
+            .collect();
+        Workspace {
+            root: PathBuf::new(),
+            members,
+            manifests,
+            files,
+        }
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found"))
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_first() {
+        let src = "fn a() { b(); }\nfn b() { let v = Vec::new(); v.len(); }";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        assert_eq!(g.fns.len(), 2);
+        let (a, b) = (idx(&g, "a"), idx(&g, "b"));
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!((g.edges[0].caller, g.edges[0].callee), (a, b));
+        assert!(g.reaches_alloc[a], "a reaches b's Vec::new");
+        assert!(g.fns[b].alloc_site.is_some());
+        assert!(!g.reaches_panic[a]);
+    }
+
+    #[test]
+    fn qualified_and_self_calls_resolve_by_owner() {
+        let src = "struct T;\nimpl T {\n  fn outer(&self) { self.inner(); }\n  fn inner(&self) { T::assoc(); }\n  fn assoc() {}\n}";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let outer = idx(&g, "outer");
+        let inner = idx(&g, "inner");
+        let assoc = idx(&g, "assoc");
+        assert_eq!(g.fns[outer].owner.as_deref(), Some("T"));
+        let targets: Vec<(usize, usize)> = g.edges.iter().map(|e| (e.caller, e.callee)).collect();
+        assert!(targets.contains(&(outer, inner)));
+        assert!(targets.contains(&(inner, assoc)));
+        assert!(g.edges.iter().all(|e| e.kind == EdgeKind::Strong));
+    }
+
+    #[test]
+    fn external_types_produce_no_edges_or_noise() {
+        let src = "fn f() -> Vec<u32> { let mut v = Vec::with_capacity(4); v.push(1); v }";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        assert!(g.edges.is_empty());
+        assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+    }
+
+    #[test]
+    fn method_sugar_is_dynamic_and_crosses_crates_along_deps() {
+        let tree = "pub struct Tree;\nimpl Tree {\n  pub fn expand_all(&self) { let v = vec![1]; drop(v); }\n}";
+        let core = "pub fn drive(t: &Tree) { t.expand_all(); }";
+        let g = CallGraph::build(&make_ws(
+            vec![
+                ("oocts-tree", "crates/tree/src/lib.rs", tree),
+                ("oocts-core", "crates/core/src/lib.rs", core),
+            ],
+            vec![("oocts-core", vec!["oocts-tree"])],
+        ));
+        let drive = idx(&g, "drive");
+        assert_eq!(g.out[drive].len(), 1);
+        assert_eq!(g.edges[g.out[drive][0]].kind, EdgeKind::Dynamic);
+        assert!(g.reaches_alloc[drive]);
+    }
+
+    #[test]
+    fn dependency_direction_gates_resolution() {
+        // tree does not depend on core, so a same-named method in core is
+        // not a candidate for a call made in tree.
+        let tree = "pub fn caller() { helper(); }";
+        let core = "pub fn helper() { panic!(\"boom\"); }";
+        let g = CallGraph::build(&make_ws(
+            vec![
+                ("oocts-tree", "crates/tree/src/lib.rs", tree),
+                ("oocts-core", "crates/core/src/lib.rs", core),
+            ],
+            vec![("oocts-core", vec!["oocts-tree"])],
+        ));
+        let caller = idx(&g, "caller");
+        assert!(g.out[caller].is_empty());
+        assert!(!g.reaches_panic[caller]);
+        assert_eq!(g.unresolved.len(), 1);
+        assert_eq!(g.unresolved[0].text, "helper");
+    }
+
+    #[test]
+    fn recursion_shows_up_as_a_strong_cycle() {
+        let src = "pub fn spin(n: u64) -> u64 { if n == 0 { 0 } else { spin(n - 1) } }\npub fn ping() { pong(); }\npub fn pong() { ping(); }\npub fn line() { spin(3); }";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let cycles = g.cycles(|_| true);
+        assert_eq!(cycles.len(), 2, "{cycles:?}");
+        assert_eq!(cycles[0], vec![idx(&g, "spin")]);
+        assert_eq!(cycles[1].len(), 2);
+    }
+
+    #[test]
+    fn waived_local_sites_do_not_propagate() {
+        let src = "fn a() { b(); }\nfn b() {\n    x.expect(\"fine\"); // lint: allow(L001, checked by caller)\n}";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        assert!(!g.reaches_panic[idx(&g, "a")]);
+        assert!(g.fns[idx(&g, "b")].panic_site.is_none());
+    }
+
+    #[test]
+    fn trait_defaults_fall_back_to_dynamic_impl_edges() {
+        let src = "trait S {\n  fn go(&self);\n  fn run(&self) { self.go(); }\n}\nstruct A;\nimpl S for A {\n  fn go(&self) { panic!(\"a\"); }\n}";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let run = idx(&g, "run");
+        assert_eq!(g.out[run].len(), 1);
+        assert_eq!(g.edges[g.out[run][0]].kind, EdgeKind::Dynamic);
+        assert!(g.reaches_panic[run]);
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_nested_fn() {
+        let src = "pub fn outer(n: usize) {\n    fn recurse(k: usize) { if k > 0 { recurse(k - 1); } }\n    recurse(n);\n}";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let outer = idx(&g, "outer");
+        let recurse = idx(&g, "recurse");
+        let pairs: Vec<(usize, usize)> = g.edges.iter().map(|e| (e.caller, e.callee)).collect();
+        assert!(pairs.contains(&(outer, recurse)));
+        assert!(pairs.contains(&(recurse, recurse)));
+        assert!(!pairs.contains(&(outer, outer)));
+    }
+
+    #[test]
+    fn path_reconstruction_reaches_the_alloc_site() {
+        let src = "fn a() { b(); }\nfn b() { c(); }\nfn c() { let s = String::new(); drop(s); }";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let path = g
+            .path_to(idx(&g, "a"), |f| g.fns[f].alloc_site.is_some())
+            .expect("path exists");
+        let names: Vec<&str> = path.iter().map(|&f| g.fns[f].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_edge_styles() {
+        let src = "fn a() { b(); }\nfn b() {}";
+        let g = CallGraph::build(&make_ws(vec![("x", "crates/x/src/lib.rs", src)], vec![]));
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph callgraph"));
+        assert!(dot.contains("x::a"));
+        assert!(dot.contains("->"));
+    }
+}

@@ -63,12 +63,18 @@ pub fn render_human(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
-/// Renders diagnostics as a JSON object
-/// `{"count": N, "diagnostics": [{"rule", "file", "line", "message"}, …]}`.
+/// The schema identifier stamped into every JSON report, mirroring the
+/// bench harness's `oocts-bench/v1`: consumers dispatch on it and reject
+/// layouts they do not understand.
+pub const JSON_SCHEMA: &str = "oocts-lint/v1";
+
+/// Renders diagnostics as a JSON object `{"schema": "oocts-lint/v1",
+/// "count": N, "diagnostics": [{"rule", "file", "line", "message"}, …]}`.
 pub fn render_json(diagnostics: &[Diagnostic]) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"count\":{},\"diagnostics\":[",
+        "\"schema\":{},\"count\":{},\"diagnostics\":[",
+        json_string(JSON_SCHEMA),
         diagnostics.len()
     ));
     for (i, d) in diagnostics.iter().enumerate() {
@@ -122,7 +128,7 @@ mod tests {
         assert!(human.contains("L001 crates/core/src/x.rs:7: bad \"call\""));
         assert!(human.contains("1 violation\n"));
         let json = render_json(&ds);
-        assert!(json.starts_with("{\"count\":1,"));
+        assert!(json.starts_with("{\"schema\":\"oocts-lint/v1\",\"count\":1,"));
         assert!(json.contains("\"line\":7"));
         assert!(json.contains("bad \\\"call\\\""));
     }
@@ -130,6 +136,17 @@ mod tests {
     #[test]
     fn empty_report() {
         assert!(render_human(&[]).contains("no violations"));
-        assert_eq!(render_json(&[]), "{\"count\":0,\"diagnostics\":[]}");
+        assert_eq!(
+            render_json(&[]),
+            "{\"schema\":\"oocts-lint/v1\",\"count\":0,\"diagnostics\":[]}"
+        );
+    }
+
+    #[test]
+    fn schema_version_is_stamped_and_stable() {
+        // The schema string is part of the wire contract (CI uploads the
+        // report as an artifact); bump the suffix on layout changes.
+        assert_eq!(JSON_SCHEMA, "oocts-lint/v1");
+        assert!(render_json(&[]).contains("\"schema\":\"oocts-lint/v1\""));
     }
 }

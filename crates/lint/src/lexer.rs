@@ -255,9 +255,12 @@ fn closes_raw(chars: &[char], hashes: u32) -> bool {
 fn char_literal_len(chars: &[char]) -> Option<usize> {
     match chars.get(1) {
         Some('\\') => {
-            // Escaped char: find the closing quote within a small window
-            // (`'\u{10FFFF}'` is the longest escape).
-            (2..12.min(chars.len()))
+            // Escaped char: the closing quote sits after the backslash AND
+            // the escaped character, so the search starts at index 3 —
+            // starting at 2 would mistake the escaped quote of `'\''` for
+            // the closer and leave a stray `'` in the code channel. The
+            // window covers `'\u{10FFFF}'`, the longest escape.
+            (3..13.min(chars.len()))
                 .find(|&k| chars[k] == '\'')
                 .map(|k| k + 1)
         }
@@ -320,6 +323,70 @@ mod tests {
         assert!(code.contains("&'a char"));
         // Literal contents blanked, quotes kept.
         assert!(!code.contains("'x'"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_depth_across_lines() {
+        let lexed =
+            lex("a; /* 1 /* 2 /* 3 */ 2 */ 1 */ b;\n/* x /* y\n unwrap() */\n still */ done();");
+        assert!(lexed.lines[0].code.contains("a;"));
+        assert!(lexed.lines[0].code.contains("b;"), "{:?}", lexed.lines[0]);
+        assert!(!lexed.lines[0].code.contains('1'), "comment text leaked");
+        // Depth 2 at the end of line 2: the `*/` on line 3 only closes one
+        // level, so `unwrap()` and `still` are still comment text.
+        assert!(!lexed.lines[2].code.contains("unwrap"));
+        assert!(!lexed.lines[3].code.contains("still"));
+        assert!(lexed.lines[3].code.contains("done();"));
+    }
+
+    #[test]
+    fn raw_strings_with_interior_hashes_and_quotes() {
+        // The `"#` inside the r##-string must not close it: the closer
+        // needs two hashes.
+        let src = r###"let s = r##"has "# and "quotes" and panic!()"##; x.unwrap();"###;
+        let lexed = lex(src);
+        let code = &lexed.lines[0].code;
+        assert!(!code.contains("panic"), "{code:?}");
+        assert!(!code.contains("quotes"), "{code:?}");
+        assert_eq!(code.matches(".unwrap()").count(), 1, "{code:?}");
+        // Multi-line raw string: the state must persist across lines.
+        let lexed = lex("let s = r#\"open\ntodo!()\n\"#; tail();");
+        assert!(!lexed.lines[1].code.contains("todo"));
+        assert!(lexed.lines[2].code.contains("tail();"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_literals_not_lifetimes() {
+        let src = r"let nl = b'\n'; let q = b'\''; let x = b'x'; let s = b0 < b1;";
+        let lexed = lex(src);
+        let code = &lexed.lines[0].code;
+        // Every literal's content is blanked; the quotes stay balanced.
+        assert!(!code.contains("'x'"), "{code:?}");
+        assert_eq!(code.matches('\'').count(), 6, "{code:?}");
+        // Identifiers that merely end in `b` are untouched.
+        assert!(code.contains("b0 < b1"), "{code:?}");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak_a_stray_quote() {
+        // `'\''` once fooled the scanner into closing at the escaped quote,
+        // leaving the real closer behind as a lone `'` in the code channel.
+        let lexed = lex(r"let c = '\''; f(c);");
+        let code = &lexed.lines[0].code;
+        assert_eq!(code.matches('\'').count(), 2, "{code:?}");
+        assert!(code.contains("f(c);"), "{code:?}");
+    }
+
+    #[test]
+    fn lifetime_lists_in_generic_position_are_not_char_literals() {
+        let src =
+            "fn f<'a, 'b: 'a, const N: usize>(x: &'a [u8; N], y: &'b str) -> &'static str { y }";
+        let lexed = lex(src);
+        let code = &lexed.lines[0].code;
+        assert_eq!(code, src, "lifetimes must pass through untouched");
+        // And `'_` in anonymous-lifetime position.
+        let lexed = lex("impl fmt::Display for S<'_> { }");
+        assert!(lexed.lines[0].code.contains("<'_>"));
     }
 
     #[test]

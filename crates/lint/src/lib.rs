@@ -1,6 +1,7 @@
 //! # oocts-lint — workspace-specific static analysis
 //!
-//! The OOCTS workspace has rules that `rustc` and `clippy` cannot express:
+//! The OOCTS workspace has rules that `rustc` and `clippy` cannot express.
+//! The line rules scan lexed source directly:
 //!
 //! * **L001** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   *library* code of the algorithmic crates (`core`, `tree`, `minmem`,
@@ -18,20 +19,39 @@
 //! * **L005** — crate headers: each member crate's `lib.rs` carries the
 //!   agreed preamble (`#![forbid(unsafe_code)]`, `#![deny(missing_docs)]`).
 //!
+//! The transitive rules walk the [`callgraph::CallGraph`] built once per
+//! run from the same lexer output:
+//!
+//! * **L006** — `no_alloc` functions must not *reach* an allocating API
+//!   through any workspace call chain (the transitive closure of L003).
+//! * **L007** — library code of the algorithmic crates must not reach an
+//!   unwaived panic site; the diagnostic carries the full call path.
+//! * **L008** — no recursion cycles in the hot-path crates (`tree`,
+//!   `minmem`, `core`); every cycle is waived with a reason or rewritten
+//!   iteratively.
+//! * **L009** — no narrowing `as` casts or unguarded `+=`/`*=` counter
+//!   accumulation inside `no_alloc` hot paths.
+//!
 //! Violations are waived in place with
-//! `// lint: allow(RULE, free-text reason)` — a waiver without a reason is
-//! itself a diagnostic. The scanner is comment- and string-aware (a
-//! `panic!` inside a doc comment or a string literal never fires) and skips
-//! `#[cfg(test)]` regions.
+//! `// lint: allow(RULE, free-text reason)` — a waiver without a reason, a
+//! waiver naming an unknown rule, and an `allow(no_alloc, …)` (which names
+//! the annotation instead of a rule) are themselves `W000` diagnostics, as
+//! is an `allow(L003)` sitting on a line where the allocation is actually
+//! transitive (L006 supersedes the local waiver there). The scanner is
+//! comment- and string-aware (a `panic!` inside a doc comment or a string
+//! literal never fires) and skips `#[cfg(test)]` regions.
 //!
 //! The `oocts-lint` binary scans the workspace rooted at `--root` (default:
 //! the ancestor of the current directory that holds the workspace manifest),
-//! prints human-readable or `--json` diagnostics, and exits nonzero when any
-//! diagnostic is produced.
+//! prints human-readable or `--json` diagnostics (schema `oocts-lint/v1`),
+//! and exits nonzero when any diagnostic is produced. `--emit-callgraph`
+//! dumps the call graph as Graphviz DOT instead of linting; `--verbose`
+//! adds a graph summary and the unresolved call list on stderr.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod diagnostics;
 pub mod lexer;
 pub mod rules;
@@ -40,48 +60,113 @@ pub mod workspace;
 
 use std::path::Path;
 
+use callgraph::CallGraph;
 use diagnostics::Diagnostic;
 use workspace::Workspace;
 
 /// The rule identifiers known to the linter, in report order.
-pub const ALL_RULES: [&str; 5] = ["L001", "L002", "L003", "L004", "L005"];
+pub const ALL_RULES: [&str; 9] = [
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
+];
+
+/// Everything one lint run produces: the diagnostics plus the call graph
+/// they were computed against (for `--verbose` summaries and DOT output).
+pub struct LintReport {
+    /// All findings, sorted by file, line and rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The workspace call graph.
+    pub graph: CallGraph,
+}
 
 /// Scans the workspace rooted at `root` with every rule (or the subset named
-/// in `only`) and returns the diagnostics, sorted by file and line.
+/// in `only`) and returns the diagnostics together with the call graph.
 ///
-/// `root` must contain the workspace `Cargo.toml`.
-pub fn run_lint(root: &Path, only: &[String]) -> Result<Vec<Diagnostic>, String> {
+/// `root` must contain the workspace `Cargo.toml`. The waiver audit (W000)
+/// runs whenever no subset is given, or when the subset names it.
+pub fn analyze(root: &Path, only: &[String]) -> Result<LintReport, String> {
     let ws = Workspace::load(root)?;
+    let graph = CallGraph::build(&ws);
+    let cx = rules::Context {
+        ws: &ws,
+        graph: &graph,
+    };
     let mut diagnostics = Vec::new();
     for rule in rules::all_rules() {
         if !only.is_empty() && !only.iter().any(|r| r.eq_ignore_ascii_case(rule.id())) {
             continue;
         }
-        rule.check(&ws, &mut diagnostics);
+        rule.check(&cx, &mut diagnostics);
     }
-    // Waivers that name an unknown rule are reported as diagnostics too:
-    // a typo in a waiver must not silently disable nothing.
+    if only.is_empty() || only.iter().any(|r| r.eq_ignore_ascii_case("W000")) {
+        let rule_findings = diagnostics.clone();
+        audit_waivers(&ws, &rule_findings, &mut diagnostics);
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(LintReport { diagnostics, graph })
+}
+
+/// Scans the workspace rooted at `root` and returns just the diagnostics.
+pub fn run_lint(root: &Path, only: &[String]) -> Result<Vec<Diagnostic>, String> {
+    analyze(root, only).map(|r| r.diagnostics)
+}
+
+/// The waiver audit: a broken waiver must not silently disable nothing.
+///
+/// * a waiver naming an unknown rule is a typo;
+/// * a waiver without a reason is unreviewable;
+/// * `allow(no_alloc, …)` names the annotation, not a rule;
+/// * an `allow(L003, …)` on a line that carries an L006 finding waives the
+///   local check while the superseding transitive rule still fires — the
+///   waiver needs updating, and saying so beats a bare L006.
+fn audit_waivers(ws: &Workspace, found: &[Diagnostic], out: &mut Vec<Diagnostic>) {
     for file in &ws.files {
         for w in &file.waivers {
-            if w.rule != "no_alloc" && !ALL_RULES.contains(&w.rule.as_str()) {
-                diagnostics.push(Diagnostic::new(
+            if !w.is_allow {
+                continue; // bare annotations carry no rule name or reason
+            }
+            if w.rule == "no_alloc" {
+                out.push(Diagnostic::new(
+                    "W000",
+                    file.rel_path.clone(),
+                    w.line,
+                    "`allow(no_alloc, …)` names the annotation, not a rule; waive \
+                     L003 (local allocation) or L006 (transitive) instead"
+                        .to_string(),
+                ));
+                continue;
+            }
+            if !ALL_RULES.contains(&w.rule.as_str()) {
+                out.push(Diagnostic::new(
                     "W000",
                     file.rel_path.clone(),
                     w.line,
                     format!("waiver names unknown rule {:?}", w.rule),
                 ));
             }
-            if w.rule != "no_alloc" && w.reason.trim().is_empty() {
-                diagnostics.push(Diagnostic::new(
+            if w.reason.trim().is_empty() {
+                out.push(Diagnostic::new(
                     "W000",
                     file.rel_path.clone(),
                     w.line,
                     format!("waiver for {} carries no reason", w.rule),
                 ));
             }
+            if w.rule == "L003"
+                && found
+                    .iter()
+                    .any(|d| d.rule == "L006" && d.file == file.rel_path && d.line == w.target_line)
+            {
+                out.push(Diagnostic::new(
+                    "W000",
+                    file.rel_path.clone(),
+                    w.line,
+                    "this `allow(L003)` is superseded: the allocation on the waived \
+                     line is transitive, so L006 still fires; waive \
+                     `// lint: allow(L006, reason)` instead"
+                        .to_string(),
+                ));
+            }
         }
     }
-    diagnostics
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(diagnostics)
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! oocts-lint [--root PATH] [--json] [--rules L001,L004] [--list]
+//!            [--verbose] [--emit-callgraph]
 //! ```
 //!
 //! Exit codes: 0 — clean, 1 — violations found, 2 — usage or I/O error.
@@ -11,20 +12,27 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use oocts_lint::callgraph::CallGraph;
 use oocts_lint::diagnostics::{render_human, render_json};
-use oocts_lint::{rules, run_lint};
+use oocts_lint::workspace::Workspace;
+use oocts_lint::{analyze, rules};
 
 const USAGE: &str = "usage: oocts-lint [--root PATH] [--json] [--rules L001,L002,...] [--list]
+                  [--verbose] [--emit-callgraph]
 
-  --root PATH   workspace root (default: nearest ancestor with a workspace manifest)
-  --json        machine-readable output
-  --rules LIST  comma-separated subset of rules to run
-  --list        print the rule set and exit
+  --root PATH       workspace root (default: nearest ancestor with a workspace manifest)
+  --json            machine-readable output (schema oocts-lint/v1)
+  --rules LIST      comma-separated subset of rules to run
+  --list            print the rule set and exit
+  --verbose         print a call-graph summary and unresolved calls on stderr
+  --emit-callgraph  print the workspace call graph as Graphviz DOT and exit
 ";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut verbose = false;
+    let mut emit_callgraph = false;
     let mut only: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +42,8 @@ fn main() -> ExitCode {
                 None => return usage_error("--root needs a path"),
             },
             "--json" => json = true,
+            "--verbose" => verbose = true,
+            "--emit-callgraph" => emit_callgraph = true,
             "--rules" => match args.next() {
                 Some(list) => {
                     only.extend(list.split(',').map(|r| r.trim().to_uppercase()));
@@ -62,14 +72,34 @@ fn main() -> ExitCode {
         }
     };
 
-    match run_lint(&root, &only) {
-        Ok(diagnostics) => {
-            if json {
-                println!("{}", render_json(&diagnostics));
-            } else {
-                print!("{}", render_human(&diagnostics));
+    if emit_callgraph {
+        return match Workspace::load(&root) {
+            Ok(ws) => {
+                let graph = CallGraph::build(&ws);
+                if verbose {
+                    graph_summary(&graph);
+                }
+                print!("{}", graph.to_dot());
+                ExitCode::SUCCESS
             }
-            if diagnostics.is_empty() {
+            Err(e) => {
+                eprintln!("oocts-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match analyze(&root, &only) {
+        Ok(report) => {
+            if verbose {
+                graph_summary(&report.graph);
+            }
+            if json {
+                println!("{}", render_json(&report.diagnostics));
+            } else {
+                print!("{}", render_human(&report.diagnostics));
+            }
+            if report.diagnostics.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -79,6 +109,20 @@ fn main() -> ExitCode {
             eprintln!("oocts-lint: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// The `--verbose` stderr report: graph size plus every call the nominal
+/// resolver could not pin to a workspace function.
+fn graph_summary(graph: &CallGraph) {
+    eprintln!(
+        "callgraph: {} fns, {} edges, {} unresolved",
+        graph.fns.len(),
+        graph.edges.len(),
+        graph.unresolved.len()
+    );
+    for u in &graph.unresolved {
+        eprintln!("  unresolved {}:{}: {}", u.file, u.line, u.text);
     }
 }
 

@@ -7,9 +7,8 @@
 //! requirement for a crate.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
 
-use super::Rule;
+use super::{Context, Rule};
 
 /// The attributes every `lib.rs` must carry.
 const REQUIRED: [&str; 2] = ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"];
@@ -26,7 +25,8 @@ impl Rule for CrateHeaders {
         "each member lib.rs carries #![forbid(unsafe_code)] and #![deny(missing_docs)]"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let ws = cx.ws;
         for member in &ws.members {
             if !member.has_lib {
                 continue;
@@ -65,8 +65,9 @@ impl Rule for CrateHeaders {
 mod tests {
     use super::*;
     use crate::lexer;
+    use crate::rules::testutil::run_rule;
     use crate::waiver;
-    use crate::workspace::{FileKind, Member, SourceFile};
+    use crate::workspace::{FileKind, Member, SourceFile, Workspace};
     use std::path::PathBuf;
 
     fn ws_with(lib_src: &str) -> Workspace {
@@ -93,9 +94,7 @@ mod tests {
     }
 
     fn run(lib_src: &str) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        CrateHeaders.check(&ws_with(lib_src), &mut out);
-        out
+        run_rule(&CrateHeaders, &ws_with(lib_src))
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! L009: no unchecked narrowing or unguarded counter accumulation in
+//! `// lint: no_alloc` hot paths.
+//!
+//! The hot paths the `no_alloc` annotation marks are exactly the ones that
+//! process million-node trees, where I/O-volume and memory counters grow
+//! far past `u32` and a silent `as` truncation or a wrapping `+=` corrupts
+//! the schedule cost instead of failing. Inside annotated bodies this rule
+//! flags:
+//!
+//! * narrowing casts (`as u8|u16|u32|i8|i16|i32`) — use `try_from` or keep
+//!   the wide type;
+//! * `+=`/`*=` on identifiers that look like volume counters (`total_io`,
+//!   `peak_memory`, `byte_count`, …) — use `checked_add`/`saturating_add`
+//!   (`checked_mul` for products) so overflow is a decision, not UB-shaped
+//!   silence in release builds.
+//!
+//! Sites that are provably in range are waived per line with
+//! `// lint: allow(L009, reason)`.
+
+use crate::diagnostics::Diagnostic;
+
+use super::{body_range, find_word, Context, Rule};
+
+/// How many lines past the annotation target the function signature may
+/// span (mirrors L003).
+const SIGNATURE_LOOKAHEAD: usize = 8;
+
+/// Narrowing target types for `as` casts.
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments that mark a variable as a volume/IO counter.
+const COUNTER_HINTS: [&str; 12] = [
+    "io", "total", "vol", "volume", "count", "counter", "sum", "acc", "bytes", "peak", "resident",
+    "tau",
+];
+
+/// The L009 rule object.
+pub struct HotPathArith;
+
+impl Rule for HotPathArith {
+    fn id(&self) -> &'static str {
+        "L009"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no narrowing `as` casts or unguarded counter `+=`/`*=` in `no_alloc` hot paths"
+    }
+
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for file in &cx.ws.files {
+            for annotation in file
+                .waivers
+                .iter()
+                .filter(|w| w.rule == "no_alloc" && !w.is_allow)
+            {
+                let Some((start, end)) =
+                    body_range(&file.lexed, annotation.target_line, SIGNATURE_LOOKAHEAD)
+                else {
+                    continue; // dangling annotations are L003 findings
+                };
+                for line in start..=end {
+                    if file.waived("L009", line) {
+                        continue;
+                    }
+                    let code = &file.lexed.lines[line - 1].code;
+                    for ty in NARROW {
+                        if find_word(code, &format!("as {ty}")).is_some() {
+                            out.push(Diagnostic::new(
+                                "L009",
+                                file.rel_path.clone(),
+                                line,
+                                format!(
+                                    "narrowing `as {ty}` cast in a `no_alloc` hot path; \
+                                     use `{ty}::try_from` or keep the wide type"
+                                ),
+                            ));
+                        }
+                    }
+                    for (op, checked, saturating) in [
+                        ("+=", "checked_add", "saturating_add"),
+                        ("*=", "checked_mul", "checked_mul"),
+                    ] {
+                        if let Some(name) = accumulated_counter(code, op) {
+                            out.push(Diagnostic::new(
+                                "L009",
+                                file.rel_path.clone(),
+                                line,
+                                format!(
+                                    "unguarded `{op}` on volume counter `{name}` in a \
+                                     `no_alloc` hot path; use `{checked}` or `{saturating}`"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If `code` applies `op` (`+=` or `*=`) to an identifier whose
+/// underscore-separated segments include a counter hint, returns the
+/// identifier.
+fn accumulated_counter(code: &str, op: &str) -> Option<String> {
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(op) {
+        let abs = from + pos;
+        from = abs + op.len();
+        // `a += b` vs `a <<= b`-style near-misses: the char before must not
+        // extend another operator.
+        if abs > 0 && matches!(code.as_bytes()[abs - 1], b'+' | b'*' | b'<' | b'>') {
+            continue;
+        }
+        let head = code[..abs].trim_end();
+        let ident: String = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        // Field accesses count by their last segment (`self.total_io`).
+        let last = ident.rsplit('.').next().unwrap_or(&ident);
+        if last.is_empty() {
+            continue;
+        }
+        let hinted = last
+            .split('_')
+            .any(|seg| COUNTER_HINTS.contains(&seg.to_ascii_lowercase().as_str()));
+        if hinted {
+            return Some(last.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::FileKind;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(&HotPathArith, &ws_with(FileKind::Lib, "oocts-core", src))
+    }
+
+    #[test]
+    fn narrowing_cast_fires_widening_does_not() {
+        let src = "// lint: no_alloc\nfn hot(x: u64, y: u32) -> u64 {\n    let small = x as u32;\n    let wide = y as u64;\n    small as u64 + wide\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("as u32"), "{}", out[0].message);
+        assert!(out[0].message.contains("try_from"));
+    }
+
+    #[test]
+    fn counter_accumulation_fires_plain_loop_vars_do_not() {
+        let src = "// lint: no_alloc\nfn hot(amounts: &[u64]) -> u64 {\n    let mut total_io = 0u64;\n    let mut idx = 0usize;\n    while idx < amounts.len() {\n        total_io += amounts[idx];\n        idx += 1;\n    }\n    total_io\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 6);
+        assert!(out[0].message.contains("total_io"));
+        assert!(out[0].message.contains("saturating_add"));
+    }
+
+    #[test]
+    fn field_counters_and_products_fire() {
+        let src = "// lint: no_alloc\nfn hot(&mut self, w: u64) {\n    self.peak_memory *= w;\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("peak_memory"));
+        assert!(out[0].message.contains("checked_mul"));
+    }
+
+    #[test]
+    fn unannotated_code_is_exempt() {
+        let src = "fn cold(x: u64) -> u32 {\n    let mut total_io = 0u64;\n    total_io += x;\n    total_io as u32\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waived_lines_pass() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u32 {\n    x as u32 // lint: allow(L009, node counts fit u32 by construction)\n}";
+        assert!(run(src).is_empty());
+    }
+}

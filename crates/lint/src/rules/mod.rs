@@ -1,23 +1,41 @@
 //! The rule set. Each rule is a module with fixture-based self-tests; the
 //! driver runs them all (or a `--rules` subset) over the scanned workspace.
+//!
+//! Rules see the workspace through a [`Context`]: the scanned sources plus
+//! the pre-built [`CallGraph`]. The line rules
+//! (L001–L005) only read `cx.ws`; the transitive rules (L006–L008) walk the
+//! graph (`crate::callgraph`).
 
 pub mod crate_headers;
+pub mod hot_path_arith;
 pub mod no_alloc;
 pub mod no_panics;
 pub mod offline_deps;
+pub mod recursion_cycles;
 pub mod registry_complete;
+pub mod transitive_no_alloc;
+pub mod transitive_panics;
 
+use crate::callgraph::CallGraph;
 use crate::diagnostics::Diagnostic;
 use crate::workspace::Workspace;
 
+/// Everything a rule can look at.
+pub struct Context<'a> {
+    /// The scanned workspace (sources, manifests, waivers).
+    pub ws: &'a Workspace,
+    /// The workspace call graph, built once per run.
+    pub graph: &'a CallGraph,
+}
+
 /// One lint rule.
 pub trait Rule {
-    /// Stable identifier (`"L001"` … `"L005"`).
+    /// Stable identifier (`"L001"` … `"L009"`).
     fn id(&self) -> &'static str;
     /// One-line description, shown by `--list`.
     fn describe(&self) -> &'static str;
-    /// Appends this rule's findings on `ws` to `out`.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+    /// Appends this rule's findings to `out`.
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>);
 }
 
 /// All rules, in identifier order.
@@ -28,6 +46,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(no_alloc::NoAlloc),
         Box::new(registry_complete::RegistryComplete),
         Box::new(crate_headers::CrateHeaders),
+        Box::new(transitive_no_alloc::TransitiveNoAlloc),
+        Box::new(transitive_panics::TransitivePanics),
+        Box::new(recursion_cycles::RecursionCycles),
+        Box::new(hot_path_arith::HotPathArith),
     ]
 }
 
@@ -65,4 +87,94 @@ pub(crate) fn body_range(
         }
     }
     opened.then_some((start_line, n))
+}
+
+/// Word-boundary-ish search: `needle` not preceded/followed by an
+/// identifier char (a needle that starts or ends with a non-identifier
+/// char carries its own boundary on that side).
+pub(crate) fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let self_bounded_start = needle
+        .chars()
+        .next()
+        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+    let self_bounded_end = needle
+        .chars()
+        .next_back()
+        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let abs = from + pos;
+        let before_ok = self_bounded_start
+            || abs == 0
+            || !haystack[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = abs + needle.len();
+        let after_ok = self_bounded_end
+            || !haystack[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        from = end;
+    }
+    None
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared scaffolding for rule unit tests: build a [`Workspace`] from
+    //! in-memory sources and run one rule over it (graph included).
+
+    use std::path::PathBuf;
+
+    use super::{Context, Rule};
+    use crate::callgraph::CallGraph;
+    use crate::diagnostics::Diagnostic;
+    use crate::lexer;
+    use crate::waiver;
+    use crate::workspace::{FileKind, SourceFile, Workspace};
+
+    /// A single-file workspace with the given crate name and file kind.
+    pub fn ws_with(kind: FileKind, crate_name: &str, src: &str) -> Workspace {
+        ws_from_files(vec![(crate_name, kind, "crates/x/src/lib.rs", src)])
+    }
+
+    /// A workspace from `(crate_name, kind, rel_path, source)` tuples.
+    pub fn ws_from_files(files: Vec<(&str, FileKind, &str, &str)>) -> Workspace {
+        let files = files
+            .into_iter()
+            .map(|(crate_name, kind, path, src)| {
+                let lexed = lexer::lex(src);
+                let waivers = waiver::parse_waivers(&lexed);
+                let test_regions = lexed.test_regions();
+                SourceFile {
+                    rel_path: path.to_string(),
+                    crate_name: crate_name.to_string(),
+                    kind,
+                    lexed,
+                    waivers,
+                    test_regions,
+                }
+            })
+            .collect();
+        Workspace {
+            root: PathBuf::new(),
+            members: Vec::new(),
+            manifests: Vec::new(),
+            files,
+        }
+    }
+
+    /// Runs `rule` over `ws` with a freshly built call graph.
+    pub fn run_rule(rule: &dyn Rule, ws: &Workspace) -> Vec<Diagnostic> {
+        let graph = CallGraph::build(ws);
+        let cx = Context { ws, graph: &graph };
+        let mut out = Vec::new();
+        rule.check(&cx, &mut out);
+        out
+    }
 }

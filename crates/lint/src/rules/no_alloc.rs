@@ -7,12 +7,13 @@
 //! sites with `// lint: allow(L003, reason)`.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
 
-use super::{body_range, Rule};
+use super::{body_range, Context, Rule};
 
 /// Allocating constructs, matched against comment- and string-blanked code.
-const ALLOCATING: [&str; 14] = [
+/// Shared with the call-graph builder, which uses the same needles to mark
+/// per-function local allocation sites for the transitive L006 rule.
+pub(crate) const ALLOCATING: [&str; 14] = [
     "Vec::new",
     "Vec::with_capacity",
     "vec!",
@@ -45,9 +46,13 @@ impl Rule for NoAlloc {
         "functions annotated `// lint: no_alloc` must not call allocating APIs"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
-            for annotation in file.waivers.iter().filter(|w| w.rule == "no_alloc") {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for file in &cx.ws.files {
+            for annotation in file
+                .waivers
+                .iter()
+                .filter(|w| w.rule == "no_alloc" && !w.is_allow)
+            {
                 let Some((start, end)) =
                     body_range(&file.lexed, annotation.target_line, SIGNATURE_LOOKAHEAD)
                 else {
@@ -88,34 +93,11 @@ impl Rule for NoAlloc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer;
-    use crate::waiver;
-    use crate::workspace::{FileKind, SourceFile};
-    use std::path::PathBuf;
-
-    fn ws_with(src: &str) -> Workspace {
-        let lexed = lexer::lex(src);
-        let waivers = waiver::parse_waivers(&lexed);
-        let test_regions = lexed.test_regions();
-        Workspace {
-            root: PathBuf::new(),
-            members: Vec::new(),
-            manifests: Vec::new(),
-            files: vec![SourceFile {
-                rel_path: "crates/x/src/lib.rs".to_string(),
-                crate_name: "oocts-core".to_string(),
-                kind: FileKind::Lib,
-                lexed,
-                waivers,
-                test_regions,
-            }],
-        }
-    }
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::FileKind;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        NoAlloc.check(&ws_with(src), &mut out);
-        out
+        run_rule(&NoAlloc, &ws_with(FileKind::Lib, "oocts-core", src))
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! Provably-infallible sites carry `// lint: allow(L001, reason)`.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::{FileKind, Workspace};
+use crate::workspace::FileKind;
 
-use super::Rule;
+use super::{Context, Rule};
 
 /// The crates whose library code the rule covers. `oocts-bench` is a CLI
 /// harness and the umbrella crate only re-exports; neither is algorithmic.
@@ -24,7 +24,9 @@ pub const COVERED_CRATES: [&str; 6] = [
 /// comment- and string-blanked code text. `.unwrap()` requires the closing
 /// paren so `unwrap_or*` adapters do not fire; `.expect(` requires the open
 /// paren so `expect_err` does not fire.
-const BANNED: [(&str, &str); 5] = [
+/// Shared with the call-graph builder, which uses the same needles to mark
+/// per-function local panic sites for the transitive L007 rule.
+pub(crate) const BANNED: [(&str, &str); 5] = [
     (".unwrap()", "unwrap()"),
     (".expect(", "expect()"),
     ("panic!(", "panic!"),
@@ -44,8 +46,8 @@ impl Rule for NoPanics {
         "no unwrap/expect/panic!/todo! in library code of the algorithmic crates"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for file in &cx.ws.files {
             if file.kind != FileKind::Lib || !COVERED_CRATES.contains(&file.crate_name.as_str()) {
                 continue;
             }
@@ -75,34 +77,11 @@ impl Rule for NoPanics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer;
-    use crate::waiver;
-    use crate::workspace::SourceFile;
-    use std::path::PathBuf;
-
-    fn ws_with(kind: FileKind, crate_name: &str, src: &str) -> Workspace {
-        let lexed = lexer::lex(src);
-        let waivers = waiver::parse_waivers(&lexed);
-        let test_regions = lexed.test_regions();
-        Workspace {
-            root: PathBuf::new(),
-            members: Vec::new(),
-            manifests: Vec::new(),
-            files: vec![SourceFile {
-                rel_path: "crates/x/src/lib.rs".to_string(),
-                crate_name: crate_name.to_string(),
-                kind,
-                lexed,
-                waivers,
-                test_regions,
-            }],
-        }
-    }
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::Workspace;
 
     fn run(ws: &Workspace) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        NoPanics.check(ws, &mut out);
-        out
+        run_rule(&NoPanics, ws)
     }
 
     #[test]

@@ -5,9 +5,8 @@
 //! `workspace = true`), never at crates.io versions or git URLs.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
 
-use super::Rule;
+use super::{Context, Rule};
 
 /// The L002 rule object.
 pub struct OfflineDeps;
@@ -21,8 +20,8 @@ impl Rule for OfflineDeps {
         "every Cargo.toml dependency resolves to a vendor/ or workspace path"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for manifest in &ws.manifests {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for manifest in &cx.ws.manifests {
             for dep in &manifest.deps {
                 if !dep.offline {
                     out.push(Diagnostic::new(
@@ -44,7 +43,8 @@ impl Rule for OfflineDeps {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workspace::{scan_dependencies, Manifest};
+    use crate::rules::testutil::run_rule;
+    use crate::workspace::{scan_dependencies, Manifest, Workspace};
     use std::path::PathBuf;
 
     fn ws_with(toml: &str) -> Workspace {
@@ -64,8 +64,7 @@ mod tests {
     fn registry_and_git_deps_fire() {
         let toml =
             "[dependencies]\nserde = \"1.0\"\nrand = { git = \"https://example.com/rand\" }\n";
-        let mut out = Vec::new();
-        OfflineDeps.check(&ws_with(toml), &mut out);
+        let out = run_rule(&OfflineDeps, &ws_with(toml));
         assert_eq!(out.len(), 2);
         assert!(out[0].message.contains("serde"));
         assert_eq!(out[0].line, 2);
@@ -76,8 +75,6 @@ mod tests {
     fn path_and_workspace_deps_pass() {
         let toml =
             "[dependencies]\noocts-tree.workspace = true\nserde = { path = \"vendor/serde\" }\n";
-        let mut out = Vec::new();
-        OfflineDeps.check(&ws_with(toml), &mut out);
-        assert!(out.is_empty());
+        assert!(run_rule(&OfflineDeps, &ws_with(toml)).is_empty());
     }
 }

@@ -1,0 +1,116 @@
+//! L008: no recursion cycles in the hot-path crates.
+//!
+//! The schedulers must handle elimination trees that are deep as well as
+//! wide; a recursive traversal in `tree`, `minmem` or `core` turns tree
+//! depth into stack depth and blows up exactly on the instances the paper
+//! cares about. This rule runs strongly-connected-component detection over
+//! the *strong* edges of the call graph (dynamic-dispatch
+//! over-approximations are excluded — a trait object calling its own trait
+//! is not evidence of recursion) restricted to library functions of the
+//! hot crates, and reports every non-trivial SCC and every self-loop.
+//!
+//! A genuinely-bounded recursion (e.g. a brute-force oracle that only runs
+//! on tiny instances) is waived at any member function's definition line
+//! with `// lint: allow(L008, reason)` — one waiver covers the whole
+//! cycle. Everything else should be rewritten iteratively with an explicit
+//! stack (ROADMAP item 2).
+
+use crate::diagnostics::Diagnostic;
+
+use super::{Context, Rule};
+
+/// The crates whose library code must stay recursion-free.
+pub const HOT_CRATES: [&str; 3] = ["oocts-tree", "oocts-minmem", "oocts-core"];
+
+/// How many lines of attributes may sit between a standalone waiver and
+/// the `fn` it governs.
+const ATTRIBUTE_WINDOW: usize = 8;
+
+/// The L008 rule object.
+pub struct RecursionCycles;
+
+impl Rule for RecursionCycles {
+    fn id(&self) -> &'static str {
+        "L008"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no recursion cycles in hot-path crates (tree, minmem, core); waive or rewrite iteratively"
+    }
+
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let graph = cx.graph;
+        for cycle in graph.cycles(|f| HOT_CRATES.contains(&f.crate_name.as_str())) {
+            let waived = cycle.iter().any(|&f| {
+                let info = &graph.fns[f];
+                cx.ws
+                    .files
+                    .iter()
+                    .find(|sf| sf.rel_path == info.file)
+                    .is_some_and(|sf| sf.waived_within("L008", info.line, ATTRIBUTE_WINDOW))
+            });
+            if waived {
+                continue;
+            }
+            let anchor = &graph.fns[cycle[0]];
+            let mut chain: Vec<String> = cycle.iter().map(|&f| graph.fns[f].label()).collect();
+            chain.push(anchor.label()); // close the loop in the display
+            out.push(Diagnostic::new(
+                "L008",
+                anchor.file.clone(),
+                anchor.line,
+                format!(
+                    "recursion cycle in hot-path code: {}; rewrite iteratively with an \
+                     explicit stack or waive with `// lint: allow(L008, reason)`",
+                    chain.join(" -> "),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::FileKind;
+
+    fn run_in(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        run_rule(&RecursionCycles, &ws_with(FileKind::Lib, crate_name, src))
+    }
+
+    #[test]
+    fn self_recursion_fires_once_at_the_definition() {
+        let src = "pub fn walk(n: u64) -> u64 {\n    if n == 0 { 0 } else { walk(n - 1) }\n}";
+        let out = run_in("oocts-tree", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+        assert!(
+            out[0].message.contains("walk -> oocts-tree::walk"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_cycle() {
+        let src = "fn ping(n: u64) { if n > 0 { pong(n - 1); } }\nfn pong(n: u64) { ping(n); }";
+        let out = run_in("oocts-minmem", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("ping") && out[0].message.contains("pong"));
+    }
+
+    #[test]
+    fn iterative_code_and_cold_crates_pass() {
+        let src = "pub fn walk(n: u64) -> u64 {\n    let mut acc = 0;\n    for i in 0..n { acc += i; }\n    acc\n}";
+        assert!(run_in("oocts-core", src).is_empty());
+        let recursive = "pub fn walk(n: u64) -> u64 { if n == 0 { 0 } else { walk(n - 1) } }";
+        assert!(run_in("oocts-sparse", recursive).is_empty());
+    }
+
+    #[test]
+    fn one_waiver_covers_the_whole_cycle() {
+        let src = "// lint: allow(L008, depth bounded by brute-force instance cap)\nfn ping(n: u64) { if n > 0 { pong(n - 1); } }\nfn pong(n: u64) { ping(n); }";
+        assert!(run_in("oocts-core", src).is_empty());
+    }
+}

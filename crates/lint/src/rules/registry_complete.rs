@@ -8,9 +8,9 @@
 //! line.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::{FileKind, Workspace};
+use crate::workspace::FileKind;
 
-use super::{body_range, Rule};
+use super::{body_range, find_word, Context, Rule};
 
 /// How many lines an `fn with_builtins` signature may span before `{`.
 const SIGNATURE_LOOKAHEAD: usize = 4;
@@ -34,10 +34,10 @@ impl Rule for RegistryComplete {
         "every `impl Scheduler for` type is registered in SchedulerRegistry::with_builtins"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         let mut impls: Vec<ImplSite> = Vec::new();
         let mut builtins_body = String::new();
-        for file in &ws.files {
+        for file in &cx.ws.files {
             if file.kind != FileKind::Lib {
                 continue;
             }
@@ -129,41 +129,6 @@ fn impl_scheduler_type(code: &str) -> Option<String> {
     }
 }
 
-/// Word-boundary-ish search: `needle` not preceded/followed by an
-/// identifier char (a needle that starts or ends with a non-identifier
-/// char carries its own boundary on that side).
-fn find_word(haystack: &str, needle: &str) -> Option<usize> {
-    let self_bounded_start = needle
-        .chars()
-        .next()
-        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
-    let self_bounded_end = needle
-        .chars()
-        .next_back()
-        .is_some_and(|c| !c.is_alphanumeric() && c != '_');
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(needle) {
-        let abs = from + pos;
-        let before_ok = self_bounded_start
-            || abs == 0
-            || !haystack[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let end = abs + needle.len();
-        let after_ok = self_bounded_end
-            || !haystack[end..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return Some(abs);
-        }
-        from = end;
-    }
-    None
-}
-
 /// `true` if `body` mentions `name` as a whole identifier.
 fn mentions_type(body: &str, name: &str) -> bool {
     find_word(body, name).is_some()
@@ -172,35 +137,14 @@ fn mentions_type(body: &str, name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer;
-    use crate::waiver;
-    use crate::workspace::SourceFile;
-    use std::path::PathBuf;
+    use crate::rules::testutil::{run_rule, ws_from_files};
 
-    fn file(path: &str, src: &str) -> SourceFile {
-        let lexed = lexer::lex(src);
-        let waivers = waiver::parse_waivers(&lexed);
-        let test_regions = lexed.test_regions();
-        SourceFile {
-            rel_path: path.to_string(),
-            crate_name: "oocts-core".to_string(),
-            kind: FileKind::Lib,
-            lexed,
-            waivers,
-            test_regions,
-        }
-    }
-
-    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
-        let ws = Workspace {
-            root: PathBuf::new(),
-            members: Vec::new(),
-            manifests: Vec::new(),
-            files,
-        };
-        let mut out = Vec::new();
-        RegistryComplete.check(&ws, &mut out);
-        out
+    fn run(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files = files
+            .into_iter()
+            .map(|(path, src)| ("oocts-core", FileKind::Lib, path, src))
+            .collect();
+        run_rule(&RegistryComplete, &ws_from_files(files))
     }
 
     const REGISTRY: &str = "impl SchedulerRegistry {\n    pub fn with_builtins() -> Self {\n        let mut r = Self::new();\n        r.register(PostOrderMinIo);\n        r\n    }\n}";
@@ -208,7 +152,7 @@ mod tests {
     #[test]
     fn registered_scheduler_passes_unregistered_fires() {
         let impls = "pub struct PostOrderMinIo;\nimpl Scheduler for PostOrderMinIo {}\npub struct Forgotten;\nimpl Scheduler for Forgotten {}";
-        let out = run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]);
+        let out = run(vec![("a.rs", impls), ("r.rs", REGISTRY)]);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("Forgotten"));
         assert_eq!(out[0].line, 4);
@@ -218,13 +162,13 @@ mod tests {
     fn waived_impl_passes() {
         let impls =
             "// lint: allow(L004, test oracle, not a strategy)\nimpl Scheduler for Oracle {}";
-        assert!(run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]).is_empty());
+        assert!(run(vec![("a.rs", impls), ("r.rs", REGISTRY)]).is_empty());
     }
 
     #[test]
     fn generic_impls_and_paths_are_recognised() {
         let impls = "impl<T: Clone> Scheduler for Wrapper {}\nimpl crate::Scheduler for Pathy {}";
-        let out = run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]);
+        let out = run(vec![("a.rs", impls), ("r.rs", REGISTRY)]);
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(|d| d.message.contains("Wrapper")));
         assert!(out.iter().any(|d| d.message.contains("Pathy")));
@@ -233,13 +177,13 @@ mod tests {
     #[test]
     fn other_traits_do_not_fire() {
         let impls = "impl Display for PostOrderMinIo {}\nimpl SchedulerSpec {}";
-        assert!(run(vec![file("a.rs", impls), file("r.rs", REGISTRY)]).is_empty());
+        assert!(run(vec![("a.rs", impls), ("r.rs", REGISTRY)]).is_empty());
     }
 
     #[test]
     fn missing_registry_reports_each_impl() {
         let impls = "impl Scheduler for Lone {}";
-        let out = run(vec![file("a.rs", impls)]);
+        let out = run(vec![("a.rs", impls)]);
         assert_eq!(out.len(), 1);
         assert!(out[0]
             .message

@@ -1,0 +1,156 @@
+//! L006: `// lint: no_alloc` functions must not *reach* an allocating API.
+//!
+//! L003 catches allocations written directly inside an annotated function;
+//! this rule closes the loophole one call away: an annotated hot path may
+//! not call — directly or through any chain of workspace calls — a function
+//! that allocates. The check walks the workspace call graph (strong and
+//! dynamic edges: a dynamic-dispatch over-approximation is the safe side
+//! for a hot-path guarantee) and reports the first offending call site
+//! inside the annotated body, with the shortest path to the allocation.
+//!
+//! Local allocations stay L003's findings; L006 reports only transitive
+//! ones, so the two rules never double-report a line. Waive a call site
+//! that provably never allocates on the flagged line with
+//! `// lint: allow(L006, reason)`.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostics::Diagnostic;
+
+use super::{Context, Rule};
+
+/// How many lines past the annotation target the function signature may
+/// span (mirrors L003).
+const SIGNATURE_LOOKAHEAD: usize = 8;
+
+/// The L006 rule object.
+pub struct TransitiveNoAlloc;
+
+impl Rule for TransitiveNoAlloc {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+
+    fn describe(&self) -> &'static str {
+        "`// lint: no_alloc` functions must not reach allocating APIs through any call chain"
+    }
+
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let graph = cx.graph;
+        for file in &cx.ws.files {
+            for annotation in file
+                .waivers
+                .iter()
+                .filter(|w| w.rule == "no_alloc" && !w.is_allow)
+            {
+                let Some(f) = graph.fn_at(
+                    &file.rel_path,
+                    (
+                        annotation.target_line,
+                        annotation.target_line + SIGNATURE_LOOKAHEAD,
+                    ),
+                ) else {
+                    // Dangling annotations are already L003 findings.
+                    continue;
+                };
+                let mut reported: BTreeSet<usize> = BTreeSet::new();
+                let mut offending: Vec<usize> = graph.out[f]
+                    .iter()
+                    .copied()
+                    .filter(|&e| graph.reaches_alloc[graph.edges[e].callee])
+                    .collect();
+                offending.sort_by_key(|&e| graph.edges[e].line);
+                for eidx in offending {
+                    let edge = &graph.edges[eidx];
+                    if !reported.insert(edge.line) || file.waived("L006", edge.line) {
+                        continue;
+                    }
+                    let Some(path) =
+                        graph.path_to(edge.callee, |i| graph.fns[i].alloc_site.is_some())
+                    else {
+                        continue;
+                    };
+                    let sink = *path.last().expect("path is non-empty");
+                    let (site_line, needle) = graph.fns[sink]
+                        .alloc_site
+                        .clone()
+                        .expect("path ends at an alloc site");
+                    let mut chain = vec![graph.fns[f].label()];
+                    chain.extend(path.iter().map(|&i| graph.fns[i].label()));
+                    out.push(Diagnostic::new(
+                        "L006",
+                        file.rel_path.clone(),
+                        edge.line,
+                        format!(
+                            "`no_alloc` function reaches allocating call `{needle}` \
+                             ({}:{site_line}) via {}; make the chain allocation-free or \
+                             waive with `// lint: allow(L006, reason)`",
+                            graph.fns[sink].file,
+                            chain.join(" -> "),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::FileKind;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_rule(
+            &TransitiveNoAlloc,
+            &ws_with(FileKind::Lib, "oocts-core", src),
+        )
+    }
+
+    #[test]
+    fn allocation_one_call_deep_fires_at_the_call_site() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    helper(x)\n}\nfn helper(x: u64) -> u64 {\n    let v = vec![x];\n    v[0]\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3, "anchored at the call site");
+        assert!(out[0].message.contains("vec!"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("hot -> ") && out[0].message.contains("helper"),
+            "path in message: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn local_allocations_are_left_to_l003() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> Vec<u64> {\n    vec![x]\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn two_calls_deep_still_fires() {
+        let src = "// lint: no_alloc\nfn hot() {\n    a();\n}\nfn a() { b(); }\nfn b() { let s = String::new(); drop(s); }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("String::new"));
+    }
+
+    #[test]
+    fn clean_chains_pass() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    double(x)\n}\nfn double(x: u64) -> u64 { x * 2 }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_on_the_call_site_suppresses() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    helper(x) // lint: allow(L006, one-time setup, not per-node)\n}\nfn helper(x: u64) -> u64 { vec![x][0] }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waived_alloc_site_in_the_callee_does_not_propagate() {
+        let src = "// lint: no_alloc\nfn hot(x: u64) -> u64 {\n    helper(x)\n}\nfn helper(x: u64) -> u64 {\n    let y = x.clone(); // lint: allow(L003, Copy type)\n    y\n}";
+        assert!(run(src).is_empty());
+    }
+}

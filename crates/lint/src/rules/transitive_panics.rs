@@ -1,0 +1,137 @@
+//! L007: library functions of the algorithmic crates must not *reach* a
+//! panic through any workspace call chain.
+//!
+//! L001 bans panicking constructs written in library code; this rule bans
+//! the transitive version: a library function of the six covered crates
+//! that can reach an unwaived panic site in some other function — however
+//! many calls away — is reported at its definition, with the full call
+//! path to the panic. Panic sites that carry an `allow(L001, …)` waiver
+//! are treated as provably infallible and do not propagate.
+//!
+//! Functions whose *own* body panics are L001's findings and are skipped
+//! here. Waive a function whose panic chain is acceptable (e.g. a
+//! debug-only oracle) at its definition line with
+//! `// lint: allow(L007, reason)`.
+
+use crate::diagnostics::Diagnostic;
+
+use super::no_panics::COVERED_CRATES;
+use super::{Context, Rule};
+
+/// How many lines of attributes may sit between a standalone waiver and
+/// the `fn` it governs.
+const ATTRIBUTE_WINDOW: usize = 8;
+
+/// The L007 rule object.
+pub struct TransitivePanics;
+
+impl Rule for TransitivePanics {
+    fn id(&self) -> &'static str {
+        "L007"
+    }
+
+    fn describe(&self) -> &'static str {
+        "library code of the algorithmic crates must not reach a panic through any call chain"
+    }
+
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let graph = cx.graph;
+        for (f, info) in graph.fns.iter().enumerate() {
+            if !COVERED_CRATES.contains(&info.crate_name.as_str()) {
+                continue;
+            }
+            if info.panic_site.is_some() || !graph.reaches_panic[f] {
+                continue; // local panics are L001 findings
+            }
+            let file = cx
+                .ws
+                .files
+                .iter()
+                .find(|sf| sf.rel_path == info.file)
+                .expect("graph functions come from scanned files");
+            if file.waived_within("L007", info.line, ATTRIBUTE_WINDOW) {
+                continue;
+            }
+            let Some(path) = graph.path_to(f, |i| graph.fns[i].panic_site.is_some()) else {
+                continue; // reachability and path agree; defensive
+            };
+            let sink = *path.last().expect("path is non-empty");
+            let (site_line, name) = graph.fns[sink]
+                .panic_site
+                .clone()
+                .expect("path ends at a panic site");
+            let chain: Vec<String> = path.iter().map(|&i| graph.fns[i].label()).collect();
+            out.push(Diagnostic::new(
+                "L007",
+                info.file.clone(),
+                info.line,
+                format!(
+                    "function can reach {name} ({}:{site_line}) via {}; \
+                     make the chain infallible or waive with `// lint: allow(L007, reason)`",
+                    graph.fns[sink].file,
+                    chain.join(" -> "),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::{run_rule, ws_with};
+    use crate::workspace::FileKind;
+
+    fn run_in(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        run_rule(&TransitivePanics, &ws_with(FileKind::Lib, crate_name, src))
+    }
+
+    #[test]
+    fn panic_one_call_deep_fires_at_the_definition_with_the_path() {
+        let src = "fn entry(x: u64) -> u64 {\n    deep(x)\n}\nfn deep(x: u64) -> u64 {\n    if x == 0 { panic!(\"zero\"); }\n    x\n}";
+        let out = run_in("oocts-core", src);
+        // `deep` panics locally (an L001 finding, not L007); `entry` reaches it.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1, "anchored at entry's definition");
+        assert!(
+            out[0]
+                .message
+                .contains("oocts-core::entry -> oocts-core::deep"),
+            "full path in message: {}",
+            out[0].message
+        );
+        assert!(out[0].message.contains("panic!"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains(":5"),
+            "sink line: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn waived_panic_sites_are_infallible_and_do_not_propagate() {
+        let src = "fn entry(x: u64) -> u64 {\n    deep(x)\n}\nfn deep(x: u64) -> u64 {\n    x.checked_add(1).expect(\"bounded\") // lint: allow(L001, bounded by caller)\n}";
+        assert!(run_in("oocts-core", src).is_empty());
+    }
+
+    #[test]
+    fn uncovered_crates_are_exempt() {
+        let src = "fn entry() { deep(); }\nfn deep() { panic!(\"x\"); }";
+        assert!(run_in("oocts-lint", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_at_the_definition_suppresses() {
+        let src = "// lint: allow(L007, oracle, only run on tiny instances)\nfn entry() { deep(); }\nfn deep() { panic!(\"x\"); }";
+        assert!(run_in("oocts-core", src).is_empty());
+    }
+
+    #[test]
+    fn the_whole_upstream_chain_is_reported() {
+        let src = "fn a() { b(); }\nfn b() { c(); }\nfn c() { todo!() }";
+        let out = run_in("oocts-tree", src);
+        // Both a and b reach c's todo!; c itself is L001's finding.
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("todo!"));
+    }
+}

@@ -20,6 +20,11 @@ pub struct Waiver {
     /// 1-based line the annotation *applies to*: the same line when the
     /// comment trails code, otherwise the next line that carries code.
     pub target_line: usize,
+    /// `true` for the `allow(RULE, reason)` form, `false` for bare
+    /// annotations such as `// lint: no_alloc`. An `allow(no_alloc, …)`
+    /// parses (so [`crate::run_lint`] can report it as a W000 note — the
+    /// writer meant L003 or L006) but never acts as an annotation.
+    pub is_allow: bool,
 }
 
 impl Waiver {
@@ -56,6 +61,7 @@ pub fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
                 reason: String::new(),
                 line,
                 target_line,
+                is_allow: false,
             });
         } else if let Some(inner) = rest
             .strip_prefix("allow(")
@@ -70,6 +76,7 @@ pub fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
                 reason,
                 line,
                 target_line,
+                is_allow: true,
             });
         }
         // Other `lint:`-prefixed comments are ignored; the annotation
@@ -111,6 +118,18 @@ mod tests {
         assert_eq!(ws.len(), 1);
         assert_eq!(ws[0].rule, "no_alloc");
         assert_eq!(ws[0].target_line, 2);
+        assert!(!ws[0].is_allow);
+    }
+
+    #[test]
+    fn allow_of_the_annotation_name_is_flagged_as_allow() {
+        // `allow(no_alloc, …)` names the annotation, not a rule; the parse
+        // keeps it (run_lint turns it into a W000 note) but the `is_allow`
+        // flag stops it from acting as a `no_alloc` annotation.
+        let ws = parse_waivers(&lex("// lint: allow(no_alloc, misguided)\nfn f() {}"));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "no_alloc");
+        assert!(ws[0].is_allow);
     }
 
     #[test]

@@ -50,6 +50,16 @@ impl SourceFile {
         self.waivers.iter().any(|w| w.covers(rule, line))
     }
 
+    /// `true` if `rule` is waived on `line` or by an annotation targeting
+    /// at most `window` lines above it. Definition-anchored rules (L007,
+    /// L008) use this: attributes such as `#[allow(…)]` or `#[inline]` may
+    /// sit between a standalone waiver comment and the `fn` it governs.
+    pub fn waived_within(&self, rule: &str, line: usize, window: usize) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && w.target_line <= line && line <= w.target_line + window)
+    }
+
     /// `true` if `line` (1-based) is inside a `#[cfg(test)]` region.
     pub fn in_test_region(&self, line: usize) -> bool {
         lexer::in_regions(&self.test_regions, line)

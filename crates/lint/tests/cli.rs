@@ -25,6 +25,7 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
     assert_eq!(out.status.code(), Some(1), "violations must exit 1");
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     for needle in [
+        "L001 crates/core/src/callees.rs:15:",
         "L001 crates/core/src/lib.rs:6:",
         "L002 crates/bench/Cargo.toml:12:",
         "L002 crates/bench/Cargo.toml:15:",
@@ -32,25 +33,88 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
         "L003 crates/core/src/lib.rs:11:",
         "L004 crates/core/src/lib.rs:18:",
         "L005 crates/core/src/lib.rs:1:",
+        "L006 crates/core/src/lib.rs:35:",
+        "L007 crates/core/src/lib.rs:39:",
+        "L008 crates/core/src/lib.rs:44:",
+        "L009 crates/core/src/lib.rs:57:",
+        "L009 crates/core/src/lib.rs:58:",
+        "W000 crates/core/src/lib.rs:35:",
+        "W000 crates/core/src/lib.rs:63:",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
     }
-    // L001/L003/L004 once each, L002 three times (core's registry version,
-    // bench's registry version and git dev-dependency), L005 twice (both
-    // preamble attributes missing).
-    assert!(stdout.contains("oocts-lint: 8 violations"), "{stdout}");
+    // L001 twice (the unwrap and the fixture callee's panic!), L002 three
+    // times (core's registry version, bench's registry version and git
+    // dev-dependency), L005 twice (both preamble attributes missing), L009
+    // twice (cast + counter), W000 twice (superseded L003 waiver + the
+    // allow(no_alloc) misspelling); L003/L004/L006/L007/L008 once each.
+    assert!(stdout.contains("oocts-lint: 16 violations"), "{stdout}");
 }
 
 #[test]
-fn json_output_is_machine_readable() {
+fn transitive_rules_report_exact_sites_and_paths() {
+    let out = bin()
+        .args(["--root", &fixture_root()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    // L006 anchors at the offending call site and names the allocation sink.
+    let l006 = stdout
+        .lines()
+        .find(|l| l.starts_with("L006"))
+        .expect("one L006 finding");
+    assert!(l006.contains("crates/core/src/lib.rs:35"), "{l006}");
+    assert!(l006.contains("Vec::new"), "{l006}");
+    assert!(l006.contains("crates/core/src/callees.rs:7"), "{l006}");
+    assert!(
+        l006.contains("oocts-core::hot_indirect -> oocts-core::expand_scratch"),
+        "full call path: {l006}"
+    );
+    // L007 anchors at the definition and reports the full panic path.
+    let l007 = stdout
+        .lines()
+        .find(|l| l.starts_with("L007"))
+        .expect("one L007 finding");
+    assert!(l007.contains("crates/core/src/lib.rs:39"), "{l007}");
+    assert!(
+        l007.contains("oocts-core::entry -> oocts-core::deep_min"),
+        "full call path: {l007}"
+    );
+    assert!(l007.contains("crates/core/src/callees.rs:15"), "{l007}");
+    // L008 names the cycle.
+    let l008 = stdout
+        .lines()
+        .find(|l| l.starts_with("L008"))
+        .expect("one L008 finding");
+    assert!(
+        l008.contains("oocts-core::spin -> oocts-core::spin"),
+        "{l008}"
+    );
+    // L009 suggests the guarded variants.
+    assert!(stdout.contains("checked_add"), "{stdout}");
+    assert!(stdout.contains("u32::try_from"), "{stdout}");
+    // The W000 supersession note points from the stale L003 waiver to L006.
+    assert!(stdout.contains("superseded"), "{stdout}");
+    assert!(
+        stdout.contains("names the annotation, not a rule"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable_and_versioned() {
     let out = bin()
         .args(["--root", &fixture_root(), "--json"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
-    assert!(stdout.starts_with("{\"count\":8,"), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"schema\":\"oocts-lint/v1\",\"count\":16,"),
+        "{stdout}"
+    );
     assert!(stdout.contains("\"rule\":\"L004\""), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"L008\""), "{stdout}");
     assert!(
         stdout.contains("\"file\":\"crates/core/src/lib.rs\""),
         "{stdout}"
@@ -68,9 +132,42 @@ fn rules_filter_limits_the_scan() {
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     assert!(stdout.contains("L002"), "{stdout}");
     assert!(!stdout.contains("L001"), "{stdout}");
+    // A subset run skips the waiver audit too: W000 notes only appear when
+    // everything runs (or W000 is named explicitly).
+    assert!(!stdout.contains("W000"), "{stdout}");
     // The fixture's three offline-dependency edges, and nothing else.
     assert!(stdout.contains("oocts-lint: 3 violations\n"), "{stdout}");
     assert!(stdout.contains("crates/bench/Cargo.toml"), "{stdout}");
+}
+
+#[test]
+fn emit_callgraph_prints_dot_and_exits_zero() {
+    let out = bin()
+        .args(["--root", &fixture_root(), "--emit-callgraph"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "DOT output is not a violation");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 output");
+    assert!(stdout.starts_with("digraph callgraph {"), "{stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "{stdout}");
+    // Nodes carry crate-qualified labels and definition sites; the fixture's
+    // strong edges are present.
+    assert!(stdout.contains("oocts-core::hot_indirect"), "{stdout}");
+    assert!(stdout.contains("crates/core/src/callees.rs:"), "{stdout}");
+    assert!(stdout.contains(" -> "), "{stdout}");
+}
+
+#[test]
+fn verbose_reports_the_callgraph_summary_on_stderr() {
+    let out = bin()
+        .args(["--root", &fixture_root(), "--verbose"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8(out.stderr).expect("utf8 output");
+    assert!(stderr.contains("callgraph:"), "{stderr}");
+    assert!(stderr.contains("fns,"), "{stderr}");
+    assert!(stderr.contains("edges,"), "{stderr}");
+    assert!(stderr.contains("unresolved"), "{stderr}");
 }
 
 #[test]
@@ -97,6 +194,9 @@ fn the_real_workspace_is_clean() {
         .ancestors()
         .nth(2)
         .expect("workspace root");
+    // All rules L001–L009 plus the waiver audit: every surviving hot-path
+    // recursion or panic site in the real workspace must carry a reasoned
+    // waiver.
     let diagnostics = oocts_lint::run_lint(root, &[]).expect("workspace scans");
     assert!(
         diagnostics.is_empty(),

@@ -1,0 +1,24 @@
+// Callees for the transitive rules: an allocating helper (clean under L003
+// because it is not annotated) and a panicking minimum (its panic! line is
+// an L001 finding; callers of it are L007 findings).
+
+/// Allocates a scratch buffer; L006 flags `no_alloc` callers, not this fn.
+pub fn expand_scratch(x: u64) -> u64 {
+    let mut scratch = Vec::new();
+    scratch.push(x);
+    scratch[0] + 1
+}
+
+/// Panics on empty input: the unwaived site every L007 path ends at.
+pub fn deep_min(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    let mut best = u64::MAX;
+    for &x in xs {
+        if x < best {
+            best = x;
+        }
+    }
+    best
+}

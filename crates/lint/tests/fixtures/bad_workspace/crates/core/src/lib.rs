@@ -24,3 +24,43 @@ impl SchedulerRegistry {
         SchedulerRegistry
     }
 }
+
+mod callees;
+
+// The L006 case: locally clean, but the callee allocates one frame down.
+// The stale allow(L003) on the call line triggers the W000 supersession
+// note on top of the L006 finding.
+// lint: no_alloc
+pub fn hot_indirect(x: u64) -> u64 {
+    callees::expand_scratch(x) // lint: allow(L003, no local allocation here)
+}
+
+// The L007 case: reaches deep_min's unwaived panic one call away.
+pub fn entry(xs: &[u64]) -> u64 {
+    callees::deep_min(xs)
+}
+
+// The L008 case: self-recursion in a hot-path crate.
+pub fn spin(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        spin(n - 1)
+    }
+}
+
+// The L009 cases: an unguarded counter accumulation and a narrowing cast
+// inside a `no_alloc` hot path.
+// lint: no_alloc
+pub fn hot_arith(amount: u64, total: u64) -> u32 {
+    let mut total_io = total;
+    total_io += amount;
+    total_io as u32
+}
+
+// The broken-waiver case: `allow(no_alloc, …)` names the annotation, not a
+// rule, and must surface as a W000 note instead of silently doing nothing.
+// lint: allow(no_alloc, misguided waiver spelling)
+pub fn miswaived() -> u64 {
+    7
+}

@@ -144,6 +144,7 @@ impl Tree {
     }
 
     /// The size `w_i` of node `i`'s output datum.
+    // lint: no_alloc
     #[inline]
     pub fn weight(&self, node: NodeId) -> u64 {
         self.weights[node.index()]
@@ -155,12 +156,14 @@ impl Tree {
     }
 
     /// The parent of `node`, or `None` for the root.
+    // lint: no_alloc
     #[inline]
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
         self.parent[node.index()]
     }
 
     /// The children of `node`.
+    // lint: no_alloc
     #[inline]
     pub fn children(&self, node: NodeId) -> &[NodeId] {
         &self.children[node.index()]
@@ -183,6 +186,7 @@ impl Tree {
     }
 
     /// Sum of the children output sizes of `node`.
+    // lint: no_alloc
     pub fn children_weight(&self, node: NodeId) -> u64 {
         self.children(node).iter().map(|&c| self.weight(c)).sum()
     }
