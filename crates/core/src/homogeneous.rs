@@ -75,7 +75,7 @@ pub fn labels(tree: &Tree, memory: u64) -> Result<HomogeneousLabels, NotHomogene
     let n = tree.len();
     let mut l = vec![0u64; n];
     let mut child_order: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for node in tree.postorder() {
+    for &node in tree.postorder() {
         let children = tree.children(node);
         if children.is_empty() {
             l[node.index()] = 1;
@@ -94,7 +94,7 @@ pub fn labels(tree: &Tree, memory: u64) -> Result<HomogeneousLabels, NotHomogene
     // c labels: children processed in POSTORDER order.
     let mut c = vec![0u8; n];
     let mut w = vec![0u64; n];
-    for node in tree.postorder() {
+    for &node in tree.postorder() {
         if tree.is_leaf(node) {
             continue;
         }

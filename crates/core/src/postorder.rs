@@ -59,9 +59,16 @@ pub fn post_order_min_io_subtree(
     let mut storage = vec![0u64; n];
     let mut in_core = vec![0u64; n];
     let mut io_volume = vec![0u64; n];
-    let mut child_order: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Chosen processing order of the children of each node: one flat copy of
+    // the CSR child arena, each node's range re-sorted in place (no per-node
+    // vector allocations).
+    let mut sorted_children = tree.children_flat().to_vec();
+    // (key, original slot, child) triples for the current node; an unstable
+    // sort with the slot as tie-break reproduces a stable sort without its
+    // temp-buffer allocation.
+    let mut keyed: Vec<(i128, u32, NodeId)> = Vec::new();
 
-    for &node in &order {
+    for &node in order {
         let children = tree.children(node);
         let w = tree.weight(node);
         if children.is_empty() {
@@ -71,18 +78,20 @@ pub fn post_order_min_io_subtree(
             continue;
         }
         // Children by non-increasing A_j − w_j (Theorem 3).
-        let mut sorted: Vec<NodeId> = children.to_vec();
-        sorted.sort_by(|&a, &b| {
-            let ka = in_core[a.index()] as i128 - tree.weight(a) as i128;
-            let kb = in_core[b.index()] as i128 - tree.weight(b) as i128;
-            kb.cmp(&ka)
-        });
+        keyed.clear();
+        for (slot, &c) in children.iter().enumerate() {
+            let key = in_core[c.index()] as i128 - tree.weight(c) as i128;
+            keyed.push((key, slot as u32, c));
+        }
+        keyed.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
+        let range = tree.child_range(node);
         let mut prefix = 0u64;
         let mut s = w;
         let mut excess_peak = 0u64; // max_j (A_j + Σ_before w_k)
         let mut children_io = 0u64;
-        for &c in &sorted {
+        for (i, &(_, _, c)) in keyed.iter().enumerate() {
+            sorted_children[range.start + i] = c;
             s = s.max(storage[c.index()] + prefix);
             excess_peak = excess_peak.max(in_core[c.index()] + prefix);
             children_io += io_volume[c.index()];
@@ -91,18 +100,13 @@ pub fn post_order_min_io_subtree(
         storage[node.index()] = s;
         in_core[node.index()] = memory.min(s);
         io_volume[node.index()] = excess_peak.saturating_sub(memory) + children_io;
-        child_order[node.index()] = sorted;
     }
 
     // Emit the postorder following the chosen child orders.
     let mut schedule = Vec::with_capacity(order.len());
     let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
     while let Some((node, idx)) = stack.pop() {
-        let kids: &[NodeId] = if tree.children(node).is_empty() {
-            &[]
-        } else {
-            &child_order[node.index()]
-        };
+        let kids = &sorted_children[tree.child_range(node)];
         if idx < kids.len() {
             stack.push((node, idx + 1));
             stack.push((kids[idx], 0));

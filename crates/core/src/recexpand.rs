@@ -18,8 +18,8 @@
 //! measured — like for every other algorithm — by the FiF simulator on the
 //! original tree.
 
-use oocts_minmem::opt_min_mem_subtree;
-use oocts_tree::{fif_io, ExpandedTree, NodeId, Schedule, Tree, TreeError};
+use oocts_minmem::{opt_min_mem_subtree_with, ScratchSpace};
+use oocts_tree::{fif_io_with, ExpandedTree, FifScratch, NodeId, Schedule, Tree, TreeError};
 
 /// Outcome of a `RecExpand`/`FullRecExpand` run.
 #[derive(Debug, Clone)]
@@ -77,18 +77,25 @@ pub fn rec_expand_with_limit(
     let cap = EXPANSION_CAP_FACTOR * tree.len().max(16);
     let mut hit_cap = false;
 
+    // Scratch state held across the whole expansion loop: the loop re-solves
+    // OptMinMem and replays FiF after every single expansion, so buffer reuse
+    // here dominates the heuristic's constant factor.
+    let mut liu_scratch = ScratchSpace::new();
+    let mut fif_scratch = FifScratch::new();
+    let mut positions: Vec<usize> = Vec::new();
+
     // Bottom-up over the *original* tree. When node `r` is processed, the
     // subtrees of its children have already been expanded so that they can be
     // executed without I/O; expansions triggered at `r` may touch any node of
     // the current subtree (including nodes inserted by earlier expansions).
-    'outer: for r in tree.postorder() {
+    'outer: for &r in tree.postorder() {
         // Skip leaves: a single node always fits (checked above).
         if tree.is_leaf(r) {
             continue;
         }
         let mut iterations = 0usize;
         loop {
-            let (schedule, peak) = opt_min_mem_subtree(expanded.tree(), r);
+            let (schedule, peak) = opt_min_mem_subtree_with(expanded.tree(), r, &mut liu_scratch);
             if peak <= memory {
                 break;
             }
@@ -104,9 +111,9 @@ pub fn rec_expand_with_limit(
             iterations += 1;
 
             // FiF I/O function of the OptMinMem traversal of this subtree.
-            let io = fif_io(expanded.tree(), &schedule, memory)?;
+            let io = fif_io_with(expanded.tree(), &schedule, memory, &mut fif_scratch)?;
             // Node with positive I/O whose parent is scheduled the latest.
-            let positions = schedule.positions(expanded.tree());
+            schedule.positions_into(expanded.tree(), &mut positions);
             let Some(victim) = pick_victim(expanded.tree(), &io.tau, &positions) else {
                 // Unreachable: peak exceeds M, so the FiF policy must have
                 // performed some I/O; stop expanding rather than panic.
@@ -114,12 +121,14 @@ pub fn rec_expand_with_limit(
                 break 'outer;
             };
             let amount = io.tau[victim.index()];
+            fif_scratch.recycle(io.tau);
             expanded.expand(victim, amount);
         }
     }
 
     // Final schedule: OptMinMem on the fully expanded tree, mapped back.
-    let (schedule_exp, _) = opt_min_mem_subtree(expanded.tree(), expanded.tree().root());
+    let (schedule_exp, _) =
+        opt_min_mem_subtree_with(expanded.tree(), expanded.tree().root(), &mut liu_scratch);
     let schedule = expanded.to_original_schedule(&schedule_exp);
     debug_assert!(schedule.validate(tree).is_ok());
     Ok(RecExpandOutcome {
@@ -132,6 +141,7 @@ pub fn rec_expand_with_limit(
 
 /// Among nodes with `τ > 0`, returns the one whose parent is scheduled the
 /// latest (ties broken towards the smaller node id, which is deterministic).
+// lint: no_alloc
 fn pick_victim(tree: &Tree, tau: &[u64], positions: &[usize]) -> Option<NodeId> {
     let mut best: Option<(usize, NodeId)> = None;
     for node in tree.node_ids() {
@@ -158,7 +168,7 @@ fn pick_victim(tree: &Tree, tau: &[u64], positions: &[usize]) -> Option<NodeId> 
 mod tests {
     use super::*;
     use oocts_minmem::opt_min_mem;
-    use oocts_tree::TreeBuilder;
+    use oocts_tree::{fif_io, TreeBuilder};
 
     /// The tree of Appendix A, Figure 6 (M = 10): OptMinMem needs 4 I/Os,
     /// FullRecExpand needs 3 and is optimal, PostOrderMinIO is not optimal.

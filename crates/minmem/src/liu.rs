@@ -13,7 +13,46 @@
 
 use oocts_tree::{NodeId, Schedule, Tree};
 
-use crate::segments::{decompose, merge, Atom, Segment};
+use crate::segments::{decompose_into, merge_into, Atom, Segment};
+
+/// Reusable working buffers for OptMinMem.
+///
+/// One Liu run builds and tears down a segment list per node; callers that
+/// solve repeatedly (the RecExpand expansion loop re-solves subtrees after
+/// every node expansion) keep a single `ScratchSpace` so every `Vec` —
+/// per-node results, the merge and decompose staging areas, and the pools of
+/// emptied segment/task vectors — is recycled across runs.
+#[derive(Debug, Default)]
+pub struct ScratchSpace {
+    /// Canonical segment sequence per node, indexed by node id. Child slots
+    /// are drained (`mem::take`) when their parent combines them.
+    results: Vec<Vec<Segment>>,
+    /// The children's sequences detached for merging at the current node.
+    child_bufs: Vec<Vec<Segment>>,
+    /// Merge output for the current node.
+    merged: Vec<Segment>,
+    /// Absolute memory profile of the current node before re-decomposition.
+    atoms: Vec<Atom>,
+    /// Emptied segment vectors awaiting reuse.
+    seg_pool: Vec<Vec<Segment>>,
+    /// Emptied task vectors awaiting reuse.
+    task_pool: Vec<Vec<NodeId>>,
+}
+
+impl ScratchSpace {
+    /// Creates an empty scratch space; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pooled_segs(&mut self) -> Vec<Segment> {
+        self.seg_pool.pop().unwrap_or_default()
+    }
+
+    fn pooled_tasks(&mut self) -> Vec<NodeId> {
+        self.task_pool.pop().unwrap_or_default()
+    }
+}
 
 /// Computes a peak-memory-optimal traversal of the whole tree.
 ///
@@ -27,15 +66,30 @@ pub fn opt_min_mem(tree: &Tree) -> (Schedule, u64) {
 ///
 /// Returns the schedule (covering exactly the subtree) and its peak memory.
 pub fn opt_min_mem_subtree(tree: &Tree, root: NodeId) -> (Schedule, u64) {
-    let segments = optimal_segments(tree, root);
+    let mut scratch = ScratchSpace::new();
+    opt_min_mem_subtree_with(tree, root, &mut scratch)
+}
+
+/// Scratch-reusing variant of [`opt_min_mem_subtree`]: repeated solves
+/// recycle all internal buffers through `scratch`.
+pub fn opt_min_mem_subtree_with(
+    tree: &Tree,
+    root: NodeId,
+    scratch: &mut ScratchSpace,
+) -> (Schedule, u64) {
+    let mut segments = optimal_segments_with(tree, root, scratch);
     let peak = segments.iter().map(|s| s.hill).max().unwrap_or(0);
     // The global peak is attained in the first segment (hills are
     // non-increasing and the first segment starts from an empty memory).
     debug_assert_eq!(peak, segments.first().map(|s| s.hill).unwrap_or(0));
-    let mut order = Vec::new();
-    for seg in segments {
-        order.extend(seg.tasks);
+    let mut order = Vec::with_capacity(tree.subtree_size(root));
+    for seg in segments.iter_mut() {
+        let mut tasks = std::mem::take(&mut seg.tasks);
+        order.append(&mut tasks);
+        scratch.task_pool.push(tasks);
     }
+    segments.clear();
+    scratch.seg_pool.push(segments);
     (Schedule::new(order), peak)
 }
 
@@ -48,63 +102,86 @@ pub fn opt_min_mem_peak(tree: &Tree) -> u64 {
 /// Computes the canonical hill–valley representation of an optimal traversal
 /// of the subtree rooted at `root`.
 pub fn optimal_segments(tree: &Tree, root: NodeId) -> Vec<Segment> {
-    // Bottom-up over an iterative postorder so arbitrarily deep trees do not
-    // overflow the call stack.
+    let mut scratch = ScratchSpace::new();
+    optimal_segments_with(tree, root, &mut scratch)
+}
+
+/// Scratch-reusing variant of [`optimal_segments`]: the bottom-up inner loop
+/// of Liu's algorithm, allocation-free once `scratch` has warmed up.
+// lint: no_alloc
+pub fn optimal_segments_with(
+    tree: &Tree,
+    root: NodeId,
+    scratch: &mut ScratchSpace,
+) -> Vec<Segment> {
+    // Bottom-up over the precomputed postorder slice so arbitrarily deep
+    // trees do not overflow the call stack.
     let order = tree.subtree_postorder(root);
     // The postorder guarantees children are processed before their parent;
     // taking a child's slot leaves an empty Vec behind, which is never read
     // again, so no Option wrapper is needed.
-    let mut results: Vec<Vec<Segment>> = vec![Vec::new(); tree.len()];
-    for node in order {
-        let children = tree.children(node);
-        let segs = if children.is_empty() {
-            let w = tree.weight(node);
-            vec![Segment {
+    // lint: allow(L003, one-time scratch growth to the tree size: amortized across runs)
+    scratch.results.resize_with(tree.len(), Vec::new);
+    for &node in order {
+        let w = tree.weight(node);
+        let mut segs = scratch.pooled_segs();
+        if tree.is_leaf(node) {
+            let mut tasks = scratch.pooled_tasks();
+            tasks.push(node); // lint: allow(L003, single push into a pooled task vector: amortized)
+                              // lint: allow(L003, single push into a pooled segment vector: amortized)
+            segs.push(Segment {
                 hill: w,
                 valley: w,
-                tasks: vec![node],
-            }]
+                tasks,
+            });
         } else {
-            let child_segs: Vec<Vec<Segment>> = children
-                .iter()
-                .map(|&c| std::mem::take(&mut results[c.index()]))
-                .collect();
-            combine(tree, node, child_segs)
-        };
-        results[node.index()] = segs;
-    }
-    std::mem::take(&mut results[root.index()])
-}
+            // Detach the children's canonical sequences and merge them in
+            // non-increasing hill − valley order (Liu's composition).
+            scratch.child_bufs.clear();
+            for &c in tree.children(node) {
+                let child_segs = std::mem::take(&mut scratch.results[c.index()]);
+                scratch.child_bufs.push(child_segs); // lint: allow(L003, staging area reuses its capacity across nodes: amortized)
+            }
+            merge_into(&mut scratch.child_bufs, &mut scratch.merged);
+            for buf in scratch.child_bufs.drain(..) {
+                debug_assert!(buf.is_empty());
+                scratch.seg_pool.push(buf); // lint: allow(L003, recycling an emptied vector into the pool: amortized)
+            }
 
-/// Liu's composition step: merge the children's canonical segment sequences,
-/// execute `node` last, and re-decompose the resulting profile.
-fn combine(tree: &Tree, node: NodeId, children: Vec<Vec<Segment>>) -> Vec<Segment> {
-    let merged = merge(children);
-    let w = tree.weight(node);
-    let cw = tree.children_weight(node);
-    let wbar = w.max(cw);
-
-    let mut atoms = Vec::with_capacity(merged.len() + 1);
-    let mut base = 0u64;
-    for seg in merged {
-        let peak = base + seg.hill;
-        base += seg.valley;
-        atoms.push(Atom {
-            peak,
-            resident: base,
-            tasks: seg.tasks,
-        });
+            // Absolute profile: the merged children runs, then the node
+            // itself executed last.
+            let cw = tree.children_weight(node);
+            let wbar = w.max(cw);
+            scratch.atoms.clear();
+            let mut base = 0u64;
+            for seg in scratch.merged.drain(..) {
+                let peak = base + seg.hill;
+                base += seg.valley;
+                // lint: allow(L003, staging area reuses its capacity across nodes: amortized)
+                scratch.atoms.push(Atom {
+                    peak,
+                    resident: base,
+                    tasks: seg.tasks,
+                });
+            }
+            debug_assert_eq!(base, cw, "children valleys must sum to their weights");
+            // Executing the node: all children outputs (and nothing else from
+            // this subtree) are resident, so the absolute peak is exactly w̄
+            // and the resident data afterwards is the node's own output.
+            let mut tasks = scratch.task_pool.pop().unwrap_or_default();
+            tasks.push(node); // lint: allow(L003, single push into a pooled task vector: amortized)
+                              // lint: allow(L003, staging area reuses its capacity across nodes: amortized)
+            scratch.atoms.push(Atom {
+                peak: wbar,
+                resident: w,
+                tasks,
+            });
+            let (atoms, task_pool) = (&mut scratch.atoms, &mut scratch.task_pool);
+            decompose_into(atoms, &mut segs, task_pool);
+        }
+        scratch.results[node.index()] = segs;
     }
-    debug_assert_eq!(base, cw, "children valleys must sum to their weights");
-    // Executing the node: all children outputs (and nothing else from this
-    // subtree) are resident, so the absolute peak is exactly w̄ and the
-    // resident data afterwards is the node's own output.
-    atoms.push(Atom {
-        peak: wbar,
-        resident: w,
-        tasks: vec![node],
-    });
-    decompose(atoms)
+    std::mem::take(&mut scratch.results[root.index()])
 }
 
 #[cfg(test)]

@@ -26,42 +26,45 @@ pub fn post_order_min_mem(tree: &Tree) -> (Schedule, u64) {
 pub fn post_order_min_mem_subtree(tree: &Tree, root: NodeId) -> (Schedule, u64) {
     let order = tree.subtree_postorder(root);
     let mut peak = vec![0u64; tree.len()];
-    // Chosen processing order of the children of each node.
-    let mut child_order: Vec<Vec<NodeId>> = vec![Vec::new(); tree.len()];
+    // Chosen processing order of the children of each node: one flat copy of
+    // the CSR child arena, each node's range re-sorted in place (no per-node
+    // vector allocations).
+    let mut sorted_children = tree.children_flat().to_vec();
+    // (key, original slot, child) triples for the current node; an unstable
+    // sort with the slot as tie-break reproduces a stable sort without its
+    // temp-buffer allocation.
+    let mut keyed: Vec<(i128, u32, NodeId)> = Vec::new();
 
-    for &node in &order {
+    for &node in order {
         let children = tree.children(node);
         if children.is_empty() {
             peak[node.index()] = tree.weight(node);
             continue;
         }
-        let mut sorted: Vec<NodeId> = children.to_vec();
         // Non-increasing P_j − w_j; compare without subtraction to avoid any
         // issue with unsigned underflow (P_j ≥ w_j always, but stay safe).
-        sorted.sort_by(|&a, &b| {
-            let ka = peak[a.index()] as i128 - tree.weight(a) as i128;
-            let kb = peak[b.index()] as i128 - tree.weight(b) as i128;
-            kb.cmp(&ka)
-        });
+        keyed.clear();
+        for (slot, &c) in children.iter().enumerate() {
+            let key = peak[c.index()] as i128 - tree.weight(c) as i128;
+            keyed.push((key, slot as u32, c));
+        }
+        keyed.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let range = tree.child_range(node);
         let mut resident = 0u64;
         let mut p = tree.execution_weight(node);
-        for &c in &sorted {
+        for (i, &(_, _, c)) in keyed.iter().enumerate() {
+            sorted_children[range.start + i] = c;
             p = p.max(resident + peak[c.index()]);
             resident += tree.weight(c);
         }
         peak[node.index()] = p;
-        child_order[node.index()] = sorted;
     }
 
     // Emit the postorder that follows the chosen child orders, iteratively.
     let mut schedule = Vec::with_capacity(order.len());
     let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
     while let Some((node, idx)) = stack.pop() {
-        let kids: &[NodeId] = if tree.children(node).is_empty() {
-            &[]
-        } else {
-            &child_order[node.index()]
-        };
+        let kids = &sorted_children[tree.child_range(node)];
         if idx < kids.len() {
             stack.push((node, idx + 1));
             stack.push((kids[idx], 0));

@@ -59,14 +59,27 @@ pub struct Atom {
 /// guarantees non-increasing hills, non-decreasing valleys and therefore
 /// non-increasing `hill − valley` keys.
 pub fn decompose(atoms: Vec<Atom>) -> Vec<Segment> {
+    let mut atoms = atoms;
+    let mut out = Vec::new();
+    let mut task_pool = Vec::new();
+    decompose_into(&mut atoms, &mut out, &mut task_pool);
+    out
+}
+
+/// Buffer-reusing variant of [`decompose`]: drains `atoms` into canonical
+/// segments appended to `out` (cleared first). Task lists are *moved* out of
+/// the atoms — the first atom of each segment donates its vector, the rest
+/// are appended into it — and every emptied vector is returned to
+/// `task_pool`, so a caller cycling through many nodes reuses all task
+/// storage.
+// lint: no_alloc
+pub fn decompose_into(
+    atoms: &mut Vec<Atom>,
+    out: &mut Vec<Segment>,
+    task_pool: &mut Vec<Vec<NodeId>>,
+) {
+    out.clear();
     let n = atoms.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    // Suffix maxima of peaks (first index achieving the max) and, for valley
-    // lookups, we recompute minima on demand per segment; both passes stay
-    // linear overall because every atom is scanned at most twice.
-    let mut segments = Vec::new();
     let mut start = 0usize;
     let mut resident_before = 0u64;
     while start < n {
@@ -86,15 +99,19 @@ pub fn decompose(atoms: Vec<Atom>) -> Vec<Segment> {
         }
         let hill_abs = atoms[hill_idx].peak;
         let valley_abs = atoms[valley_idx].resident;
-        let mut tasks = Vec::new();
-        for atom in &mut atoms[start..=valley_idx].iter() {
-            tasks.extend_from_slice(&atom.tasks);
+        // The first atom donates its task vector; the others drain into it
+        // (append moves elements and keeps the source's capacity for reuse).
+        let mut tasks = std::mem::take(&mut atoms[start].tasks);
+        for atom in &mut atoms[start + 1..=valley_idx] {
+            tasks.append(&mut atom.tasks);
+            task_pool.push(std::mem::take(&mut atom.tasks)); // lint: allow(L003, recycling an emptied vector into the pool: amortized)
         }
         // Both values are at least the previous valley: the previous valley
         // was the minimum resident over a suffix containing this one.
         debug_assert!(hill_abs >= resident_before);
         debug_assert!(valley_abs >= resident_before);
-        segments.push(Segment {
+        // lint: allow(L003, segment output buffer is pooled by the caller: amortized)
+        out.push(Segment {
             hill: hill_abs - resident_before,
             valley: valley_abs - resident_before,
             tasks,
@@ -102,8 +119,8 @@ pub fn decompose(atoms: Vec<Atom>) -> Vec<Segment> {
         resident_before = valley_abs;
         start = valley_idx + 1;
     }
-    debug_assert!(is_canonical(&segments));
-    segments
+    atoms.clear();
+    debug_assert!(is_canonical(out));
 }
 
 /// `true` if the segment keys are non-increasing (the invariant required by
@@ -116,17 +133,30 @@ pub fn is_canonical(segments: &[Segment]) -> bool {
 /// by non-increasing `hill − valley`, preserving the internal order of each
 /// input sequence (ties never reorder segments of the same child).
 pub fn merge(children: Vec<Vec<Segment>>) -> Vec<Segment> {
-    let total: usize = children.iter().map(Vec::len).sum();
-    let mut queues: Vec<std::vec::IntoIter<Segment>> =
-        children.into_iter().map(Vec::into_iter).collect();
-    let mut heads: Vec<Option<Segment>> = queues.iter_mut().map(Iterator::next).collect();
-    let mut out = Vec::with_capacity(total);
+    let mut bufs = children;
+    let mut out = Vec::new();
+    merge_into(&mut bufs, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`merge`]: drains every child sequence into
+/// `out` (cleared first), leaving each child vector empty but with its
+/// capacity intact so the caller can recycle it.
+///
+/// Each child is reversed once so its next segment pops from the back in
+/// O(1); segments are moved, never cloned.
+// lint: no_alloc
+pub fn merge_into(children: &mut [Vec<Segment>], out: &mut Vec<Segment>) {
+    out.clear();
+    for child in children.iter_mut() {
+        child.reverse();
+    }
     loop {
         // Pick the child whose head segment has the largest key; on ties the
         // lowest index wins, so a strict `>` preserves child order.
         let mut best: Option<(usize, u64)> = None;
-        for (i, head) in heads.iter().enumerate() {
-            if let Some(seg) = head {
+        for (i, child) in children.iter().enumerate() {
+            if let Some(seg) = child.last() {
                 let key = seg.key();
                 if best.is_none_or(|(_, bk)| key > bk) {
                     best = Some((i, key));
@@ -134,12 +164,10 @@ pub fn merge(children: Vec<Vec<Segment>>) -> Vec<Segment> {
             }
         }
         let Some((i, _)) = best else { break };
-        if let Some(seg) = heads[i].take() {
-            out.push(seg);
+        if let Some(seg) = children[i].pop() {
+            out.push(seg); // lint: allow(L003, merge output buffer is pooled by the caller: amortized)
         }
-        heads[i] = queues[i].next();
     }
-    out
 }
 
 #[cfg(test)]

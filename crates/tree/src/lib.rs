@@ -43,5 +43,8 @@ pub mod tree;
 pub use error::TreeError;
 pub use expand::ExpandedTree;
 pub use schedule::Schedule;
-pub use simulate::{check_traversal, fif_io, memory_profile, peak_memory, IoResult, MemoryProfile};
+pub use simulate::{
+    check_traversal, fif_io, fif_io_with, memory_profile, peak_memory, FifScratch, IoResult,
+    MemoryProfile,
+};
 pub use tree::{NodeId, Tree, TreeBuilder};

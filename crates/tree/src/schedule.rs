@@ -25,7 +25,7 @@ impl Schedule {
     /// order). Always valid.
     pub fn postorder(tree: &Tree) -> Self {
         Schedule {
-            order: tree.postorder(),
+            order: tree.postorder().to_vec(),
         }
     }
 
@@ -60,11 +60,22 @@ impl Schedule {
     /// *after* every scheduled node — convenient for Furthest-in-the-Future
     /// comparisons where "parent outside the schedule" means "needed last".
     pub fn positions(&self, tree: &Tree) -> Vec<usize> {
-        let mut pos = vec![usize::MAX; tree.len()];
+        let mut pos = Vec::new();
+        self.positions_into(tree, &mut pos);
+        pos
+    }
+
+    /// Buffer-reusing variant of [`Schedule::positions`]: fills `pos` in
+    /// place. Replay loops (RecExpand, the FiF scratch path) call this with
+    /// a buffer that already has capacity, so the steady state is
+    /// allocation-free.
+    // lint: no_alloc
+    pub fn positions_into(&self, tree: &Tree, pos: &mut Vec<usize>) {
+        pos.clear();
+        pos.resize(tree.len(), usize::MAX);
         for (step, node) in self.order.iter().enumerate() {
             pos[node.index()] = step;
         }
-        pos
     }
 
     /// Checks that the schedule is a valid (partial) traversal order of

@@ -106,6 +106,36 @@ impl IoResult {
     }
 }
 
+/// Reusable buffers for [`fif_io_with`].
+///
+/// The FiF simulator needs four working arrays plus a heap; callers that
+/// replay many schedules (the RecExpand expansion loop, benchmarks, the
+/// golden corpus) allocate one `FifScratch` and amortize every buffer across
+/// runs. Returned `τ` vectors can be handed back via [`FifScratch::recycle`]
+/// so even the output buffer rotates through a pool.
+#[derive(Debug, Default)]
+pub struct FifScratch {
+    in_mem: Vec<u64>,
+    active: Vec<bool>,
+    positions: Vec<usize>,
+    heap: BinaryHeap<(usize, Reverse<u32>)>,
+    tau_pool: Vec<Vec<u64>>,
+}
+
+impl FifScratch {
+    /// Creates an empty scratch space; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a `τ` buffer (from a previous [`IoResult`]) to the pool so
+    /// the next simulation reuses its capacity.
+    pub fn recycle(&mut self, mut tau: Vec<u64>) {
+        tau.clear();
+        self.tau_pool.push(tau);
+    }
+}
+
 /// Runs `schedule` on `tree` under memory bound `memory`, performing I/O with
 /// the Furthest-in-the-Future policy, and returns the I/O volume and the
 /// induced I/O function `τ`.
@@ -117,14 +147,39 @@ impl IoResult {
 /// units on its own (`w̄_i > M`), in which case no traversal exists.
 pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult, TreeError> {
     schedule.validate(tree)?;
-    let positions = schedule.positions(tree);
+    let mut scratch = FifScratch::new();
+    fif_io_with(tree, schedule, memory, &mut scratch)
+}
+
+/// Scratch-reusing variant of [`fif_io`]: the inner loop of the simulator,
+/// allocation-free once `scratch` has warmed up.
+///
+/// The caller must pass a schedule that is valid for `tree` (checked only as
+/// a debug assertion here); [`fif_io`] is the validating wrapper.
+// lint: no_alloc
+pub fn fif_io_with(
+    tree: &Tree,
+    schedule: &Schedule,
+    memory: u64,
+    scratch: &mut FifScratch,
+) -> Result<IoResult, TreeError> {
+    debug_assert!(
+        schedule.validate(tree).is_ok(), // lint: allow(L006, debug-only validation, compiled out of release hot paths)
+        "fif_io_with needs a valid schedule"
+    );
+    schedule.positions_into(tree, &mut scratch.positions);
+    let positions = &scratch.positions;
 
     // in_mem[i] = units of node i's output currently in main memory
-    // (meaningful only while i is active). `is_child_of_current` marks the
-    // children of the node being executed, which may not be evicted.
-    let mut in_mem = vec![0u64; tree.len()];
-    let mut active = vec![false; tree.len()];
-    let mut tau = vec![0u64; tree.len()];
+    // (meaningful only while i is active).
+    scratch.in_mem.clear();
+    scratch.in_mem.resize(tree.len(), 0);
+    scratch.active.clear();
+    scratch.active.resize(tree.len(), false);
+    let in_mem = &mut scratch.in_mem;
+    let active = &mut scratch.active;
+    let mut tau = scratch.tau_pool.pop().unwrap_or_default();
+    tau.resize(tree.len(), 0);
     let mut total_io = 0u64;
     let mut resident = 0u64; // Σ in_mem over active nodes
     let mut peak_in_core = 0u64;
@@ -133,7 +188,8 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
     // Max-heap of active nodes keyed by the step at which their parent (the
     // consumer of their data) executes; the node needed furthest in the
     // future sits on top. Entries are lazily invalidated.
-    let mut heap: BinaryHeap<(usize, Reverse<u32>)> = BinaryHeap::new();
+    scratch.heap.clear();
+    let heap = &mut scratch.heap;
 
     for (step, node) in schedule.iter().enumerate() {
         let w = tree.weight(node);
@@ -169,7 +225,7 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
             let stale = !active[victim.index()]
                 || in_mem[victim.index()] == 0
                 || tree.parent(victim) == Some(node)
-                || par_pos != parent_position(tree, &positions, victim);
+                || par_pos != parent_position(tree, positions, victim);
             if stale {
                 continue;
             }
@@ -177,10 +233,10 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
             in_mem[victim.index()] -= amount;
             resident -= amount;
             tau[victim.index()] += amount;
-            total_io += amount;
+            total_io = total_io.saturating_add(amount);
             to_evict -= amount;
             if in_mem[victim.index()] > 0 {
-                heap.push((par_pos, Reverse(victim.0)));
+                heap.push((par_pos, Reverse(victim.0))); // lint: allow(L003, re-push into the scratch heap: capacity amortized across runs)
             }
         }
 
@@ -194,8 +250,9 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
         }
         active[node.index()] = true;
         in_mem[node.index()] = w;
-        resident += w;
-        heap.push((parent_position(tree, &positions, node), Reverse(node.0)));
+        resident = resident.saturating_add(w);
+        // lint: allow(L003, push into the scratch heap: capacity amortized across runs)
+        heap.push((parent_position(tree, positions, node), Reverse(node.0)));
 
         debug_assert!(
             resident <= memory || resident - w <= memory.saturating_sub(wbar),
@@ -205,6 +262,7 @@ pub fn fif_io(tree: &Tree, schedule: &Schedule, memory: u64) -> Result<IoResult,
 
     // Invariant layer: every test that reaches the simulator doubles as an
     // invariant test in debug builds.
+    // lint: allow(L006, debug-only validation, compiled out of release hot paths)
     debug_assert!(tree.validate().is_ok(), "fif_io ran on a malformed tree");
     debug_assert_eq!(
         total_io,

@@ -1,4 +1,39 @@
-//! Rooted in-trees of tasks with weighted output data.
+//! Rooted in-trees of tasks with weighted output data, stored as a flat
+//! arena.
+//!
+//! # Arena layout
+//!
+//! The tree is a struct-of-arrays indexed by [`NodeId`]:
+//!
+//! ```text
+//! weights        [w_0, w_1, …, w_{n-1}]          one u64 per node (SoA)
+//! parent         [p_0, p_1, …, p_{n-1}]          u32; NO_PARENT for the root
+//! child_start    [s_0, s_1, …, s_n]              CSR offsets (n + 1 entries)
+//! children_flat  [c …]                           all child lists, concatenated
+//! ```
+//!
+//! `children(i)` is the contiguous slice
+//! `children_flat[child_start[i] .. child_start[i+1]]` — no per-node `Vec`,
+//! no pointer chasing. On top of the structure the constructor precomputes
+//! the derived arrays every scheduler needs:
+//!
+//! ```text
+//! children_weight  Σ_{j child of i} w_j           O(1) lookups in simulators
+//! postorder        DFS postorder of the whole tree (children in stored order)
+//! postorder_pos    position of each node in `postorder`
+//! subtree_size     nodes in the subtree rooted at i (including i)
+//! depth            root = 0
+//! ```
+//!
+//! Because the postorder visits every subtree contiguously (ending at its
+//! root), [`Tree::subtree_postorder`] is a **slice** of the precomputed
+//! order: traversals allocate nothing. Structural mutation is confined to
+//! [`Tree::splice_above`] (the node-expansion primitive), which patches the
+//! CSR arena in place — the new node's single-child list is appended at the
+//! tail, the parent's child slot is overwritten — and then rebuilds the
+//! derived arrays in O(n); callers (the `RecExpand` expansion loop) run an
+//! O(n log n) scheduling pass after every splice, so the rebuild is
+//! asymptotically free.
 
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +46,9 @@ use crate::error::TreeError;
 /// only *adds* nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
+
+/// Sentinel parent index of the root node in the flat parent array.
+const NO_PARENT: u32 = u32::MAX;
 
 impl NodeId {
     /// The node id as a `usize` index.
@@ -36,16 +74,35 @@ impl From<usize> for NodeId {
     }
 }
 
-/// A rooted in-tree of tasks.
+/// A rooted in-tree of tasks, stored as a flat arena (see the module docs
+/// for the layout).
 ///
 /// Every node `i` produces one output datum of `weight(i)` memory units that
 /// is consumed by its unique parent. Dependencies are directed towards the
 /// root: a node can only execute after all of its children.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Tree {
+    /// Output datum size per node (SoA weight array).
     weights: Vec<u64>,
-    parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// Parent index per node; `NO_PARENT` marks the root.
+    parent: Vec<u32>,
+    /// CSR offsets into `children_flat`; `len() + 1` entries.
+    child_start: Vec<u32>,
+    /// All child lists, concatenated in node-index order.
+    children_flat: Vec<NodeId>,
+    /// Precomputed `Σ_{j child of i} w_j`.
+    children_weight: Vec<u64>,
+    /// Precomputed DFS postorder of the whole tree (children in stored
+    /// order, every subtree contiguous and ending at its root).
+    postorder: Vec<NodeId>,
+    /// Position of each node in `postorder`.
+    postorder_pos: Vec<u32>,
+    /// Number of nodes in the subtree rooted at each node (including it).
+    subtree_size: Vec<u32>,
+    /// Depth of each node (root = 0).
+    depth: Vec<u32>,
+    /// Maximum depth over all nodes.
+    height: u32,
     root: NodeId,
 }
 
@@ -65,17 +122,20 @@ impl Tree {
             "weights and parents must have the same length"
         );
         let n = weights.len();
-        let mut parent = vec![None; n];
-        let mut children = vec![Vec::new(); n];
+        let mut parent = vec![NO_PARENT; n];
         let mut root = None;
+        // CSR construction by counting sort: count children per node, prefix
+        // sum into offsets, then fill in ascending child-index order (the
+        // same order the old per-node `Vec`s were pushed in).
+        let mut counts = vec![0u32; n + 1];
         for (i, &p) in parents.iter().enumerate() {
             match p {
                 Some(p) => {
                     if p >= n {
                         return Err(TreeError::UnknownNode(NodeId::from_index(p)));
                     }
-                    parent[i] = Some(NodeId::from_index(p));
-                    children[p].push(NodeId::from_index(i));
+                    parent[i] = NodeId::from_index(p).0;
+                    counts[p] += 1;
                 }
                 None => match root {
                     None => root = Some(NodeId::from_index(i)),
@@ -84,13 +144,36 @@ impl Tree {
             }
         }
         let root = root.ok_or(TreeError::NoRoot)?;
-        let tree = Tree {
+        let mut child_start = vec![0u32; n + 1];
+        for i in 0..n {
+            child_start[i + 1] = child_start[i] + counts[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut children_flat = vec![NodeId(0); child_start[n] as usize];
+        let mut placed = 0usize;
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                children_flat[cursor[p] as usize] = NodeId::from_index(i);
+                cursor[p] += 1;
+                placed += 1;
+            }
+        }
+        debug_assert_eq!(placed, n - 1, "every non-root node is someone's child");
+
+        let mut tree = Tree {
             weights: weights.to_vec(),
             parent,
-            children,
+            child_start,
+            children_flat,
+            children_weight: Vec::new(),
+            postorder: Vec::new(),
+            postorder_pos: Vec::new(),
+            subtree_size: Vec::new(),
+            depth: Vec::new(),
+            height: 0,
             root,
         };
-        tree.check_acyclic()?;
+        tree.recompute_derived()?;
         Ok(tree)
     }
 
@@ -98,30 +181,96 @@ impl Tree {
     pub fn singleton(weight: u64) -> Self {
         Tree {
             weights: vec![weight],
-            parent: vec![None],
-            children: vec![Vec::new()],
+            parent: vec![NO_PARENT],
+            child_start: vec![0, 0],
+            children_flat: Vec::new(),
+            children_weight: vec![0],
+            postorder: vec![NodeId(0)],
+            postorder_pos: vec![0],
+            subtree_size: vec![1],
+            depth: vec![0],
+            height: 0,
             root: NodeId(0),
         }
     }
 
-    fn check_acyclic(&self) -> Result<(), TreeError> {
-        // Every node must reach the root by following parent pointers in at
-        // most `n` steps.
+    /// Rebuilds every derived array (children weights, postorder, positions,
+    /// subtree sizes, depths) from the structural arrays in O(n).
+    ///
+    /// Doubles as the acyclicity check: a parent structure with a cycle
+    /// leaves the cycle's nodes unreachable from the root, so the DFS
+    /// postorder comes up short and the lowest-index unreached node is
+    /// reported — the same node the old walk-to-root check blamed.
+    fn recompute_derived(&mut self) -> Result<(), TreeError> {
         let n = self.len();
-        for start in 0..n {
-            let mut cur = NodeId::from_index(start);
-            let mut steps = 0usize;
-            while let Some(p) = self.parent[cur.index()] {
-                cur = p;
-                steps += 1;
-                if steps > n {
-                    return Err(TreeError::Cycle(NodeId::from_index(start)));
-                }
-            }
-            if cur != self.root {
-                return Err(TreeError::Cycle(NodeId::from_index(start)));
+        self.children_weight.clear();
+        self.children_weight.resize(n, 0);
+        for i in 0..n {
+            self.children_weight[i] = self
+                .children(NodeId::from_index(i))
+                .iter()
+                .map(|&c| self.weights[c.index()])
+                .sum();
+        }
+
+        // Iterative DFS postorder from the root, children in stored order.
+        self.postorder.clear();
+        self.postorder.reserve(n);
+        let mut stack: Vec<(NodeId, u32)> = Vec::with_capacity(64);
+        stack.push((self.root, 0));
+        while let Some((node, child_idx)) = stack.pop() {
+            let kids = self.children(node);
+            if (child_idx as usize) < kids.len() {
+                let child = kids[child_idx as usize];
+                stack.push((node, child_idx + 1));
+                stack.push((child, 0));
+            } else {
+                self.postorder.push(node);
             }
         }
+        if self.postorder.len() != n {
+            // Some node never reaches the root by parent pointers.
+            let mut reached = vec![false; n];
+            for &node in &self.postorder {
+                reached[node.index()] = true;
+            }
+            let lowest = (0..n)
+                .find(|&i| !reached[i])
+                .map(NodeId::from_index)
+                .unwrap_or(self.root);
+            return Err(TreeError::Cycle(lowest));
+        }
+
+        self.postorder_pos.clear();
+        self.postorder_pos.resize(n, 0);
+        for (pos, &node) in self.postorder.iter().enumerate() {
+            self.postorder_pos[node.index()] = pos as u32;
+        }
+
+        // Subtree sizes bottom-up over the postorder (children first).
+        self.subtree_size.clear();
+        self.subtree_size.resize(n, 0);
+        for &node in &self.postorder {
+            let mut size = 1u32;
+            for &c in self.children(node) {
+                size += self.subtree_size[c.index()];
+            }
+            self.subtree_size[node.index()] = size;
+        }
+
+        // Depths top-down over the reversed postorder (parents first).
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        let mut height = 0u32;
+        for &node in self.postorder.iter().rev() {
+            let d = match self.parent(node) {
+                Some(p) => self.depth[p.index()] + 1,
+                None => 0,
+            };
+            self.depth[node.index()] = d;
+            height = height.max(d);
+        }
+        self.height = height;
         Ok(())
     }
 
@@ -151,28 +300,56 @@ impl Tree {
     }
 
     /// Mutable access to a node weight (used by generators and tests).
+    /// Keeps the precomputed children-weight of the parent in sync.
     pub fn set_weight(&mut self, node: NodeId, weight: u64) {
+        let old = self.weights[node.index()];
         self.weights[node.index()] = weight;
+        if let Some(p) = self.parent(node) {
+            self.children_weight[p.index()] = self.children_weight[p.index()] - old + weight;
+        }
     }
 
     /// The parent of `node`, or `None` for the root.
     // lint: no_alloc
     #[inline]
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.parent[node.index()]
+        let raw = self.parent[node.index()];
+        if raw == NO_PARENT {
+            None
+        } else {
+            Some(NodeId(raw))
+        }
     }
 
-    /// The children of `node`.
+    /// The children of `node`: a contiguous slice of the CSR child arena.
     // lint: no_alloc
     #[inline]
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        &self.children_flat[self.child_range(node)]
+    }
+
+    /// The range of `node`'s children inside [`Tree::children_flat`].
+    // lint: no_alloc
+    #[inline]
+    pub fn child_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.child_start[i] as usize..self.child_start[i + 1] as usize
+    }
+
+    /// The concatenated child lists of all nodes (CSR payload); index it
+    /// with [`Tree::child_range`]. Useful for schedulers that reorder
+    /// children in a flat scratch copy instead of per-node `Vec`s.
+    // lint: no_alloc
+    #[inline]
+    pub fn children_flat(&self) -> &[NodeId] {
+        &self.children_flat
     }
 
     /// `true` if `node` has no children.
     #[inline]
     pub fn is_leaf(&self, node: NodeId) -> bool {
-        self.children[node.index()].is_empty()
+        let i = node.index();
+        self.child_start[i] == self.child_start[i + 1]
     }
 
     /// Iterator over all node ids, in index order.
@@ -185,14 +362,17 @@ impl Tree {
         self.node_ids().filter(|&n| self.is_leaf(n)).collect()
     }
 
-    /// Sum of the children output sizes of `node`.
+    /// Sum of the children output sizes of `node` (precomputed: O(1)).
     // lint: no_alloc
+    #[inline]
     pub fn children_weight(&self, node: NodeId) -> u64 {
-        self.children(node).iter().map(|&c| self.weight(c)).sum()
+        self.children_weight[node.index()]
     }
 
     /// Memory needed to execute `node` in isolation:
     /// `w̄_i = max(w_i, Σ_{j child of i} w_j)` (paper, Section 3.1).
+    // lint: no_alloc
+    #[inline]
     pub fn execution_weight(&self, node: NodeId) -> u64 {
         self.weight(node).max(self.children_weight(node))
     }
@@ -216,32 +396,35 @@ impl Tree {
         self.weights.iter().copied().max().unwrap_or(0)
     }
 
-    /// Number of nodes in the subtree rooted at `node` (including `node`).
+    /// Number of nodes in the subtree rooted at `node` (including `node`);
+    /// precomputed, O(1).
+    // lint: no_alloc
+    #[inline]
     pub fn subtree_size(&self, node: NodeId) -> usize {
-        self.subtree_nodes(node).len()
+        self.subtree_size[node.index()] as usize
     }
 
-    /// The nodes of the subtree rooted at `node`, in an (iterative) postorder:
-    /// every node appears after all of its children.
-    pub fn subtree_postorder(&self, node: NodeId) -> Vec<NodeId> {
-        // Iterative postorder to cope with very deep trees (elimination trees
-        // of banded matrices are close to chains).
-        let mut out = Vec::new();
-        let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
-        while let Some((n, child_idx)) = stack.pop() {
-            if child_idx < self.children(n).len() {
-                stack.push((n, child_idx + 1));
-                stack.push((self.children(n)[child_idx], 0));
-            } else {
-                out.push(n);
-            }
-        }
-        out
+    /// The nodes of the subtree rooted at `node`, in postorder: every node
+    /// appears after all of its children.
+    ///
+    /// A slice of the precomputed whole-tree postorder (subtrees are
+    /// contiguous in it, ending at their root) — no allocation, no
+    /// traversal.
+    // lint: no_alloc
+    #[inline]
+    pub fn subtree_postorder(&self, node: NodeId) -> &[NodeId] {
+        let end = self.postorder_pos[node.index()] as usize + 1;
+        let start = end - self.subtree_size[node.index()] as usize;
+        &self.postorder[start..end]
     }
 
     /// The nodes of the subtree rooted at `node`, in DFS preorder.
+    ///
+    /// Allocates the result; prefer [`Tree::subtree_postorder`] (a slice of
+    /// the precomputed arena) when the order within the subtree is
+    /// topological-first anyway.
     pub fn subtree_nodes(&self, node: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.subtree_size(node));
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
             out.push(n);
@@ -250,38 +433,33 @@ impl Tree {
         out
     }
 
-    /// Postorder over the whole tree (children before parents).
-    pub fn postorder(&self) -> Vec<NodeId> {
-        self.subtree_postorder(self.root)
+    /// Postorder over the whole tree (children before parents); precomputed,
+    /// returned as a slice of the arena.
+    // lint: no_alloc
+    #[inline]
+    pub fn postorder(&self) -> &[NodeId] {
+        &self.postorder
     }
 
-    /// Depth of `node` (the root has depth 0).
+    /// Position of `node` in the precomputed whole-tree [`Tree::postorder`].
+    // lint: no_alloc
+    #[inline]
+    pub fn postorder_position(&self, node: NodeId) -> usize {
+        self.postorder_pos[node.index()] as usize
+    }
+
+    /// Depth of `node` (the root has depth 0); precomputed, O(1).
+    // lint: no_alloc
+    #[inline]
     pub fn depth(&self, node: NodeId) -> usize {
-        let mut d = 0;
-        let mut cur = node;
-        while let Some(p) = self.parent(cur) {
-            cur = p;
-            d += 1;
-        }
-        d
+        self.depth[node.index()] as usize
     }
 
-    /// Height of the tree: the maximum depth over all nodes.
+    /// Height of the tree: the maximum depth over all nodes; precomputed,
+    /// O(1).
+    #[inline]
     pub fn height(&self) -> usize {
-        // Compute iteratively from the postorder to stay O(n).
-        let mut h = vec![0usize; self.len()];
-        let mut best = 0usize;
-        for n in self.postorder() {
-            let hn = self
-                .children(n)
-                .iter()
-                .map(|&c| h[c.index()] + 1)
-                .max()
-                .unwrap_or(0);
-            h[n.index()] = hn;
-            best = best.max(hn);
-        }
-        best
+        self.height as usize
     }
 
     /// `true` iff all nodes have output size exactly 1 (a *homogeneous* tree
@@ -295,25 +473,36 @@ impl Tree {
     /// only child. Returns the new node's id.
     ///
     /// This is the structural primitive behind node expansion
-    /// (see [`crate::expand`]).
+    /// (see [`crate::expand`]). The CSR arena is patched in place (the new
+    /// node's single-child list goes at the tail; the parent's child slot is
+    /// overwritten) and the derived traversal arrays are rebuilt in O(n).
     pub fn splice_above(&mut self, node: NodeId, weight: u64) -> NodeId {
         let new = NodeId::from_index(self.len());
         let old_parent = self.parent[node.index()];
         self.weights.push(weight);
         self.parent.push(old_parent);
-        self.children.push(vec![node]);
-        self.parent[node.index()] = Some(new);
-        match old_parent {
-            Some(p) => {
-                let slot = self.children[p.index()]
-                    .iter()
-                    .position(|&c| c == node)
-                    // lint: allow(L001, parent/child links are a Tree construction invariant)
-                    .expect("parent/child links out of sync");
-                self.children[p.index()][slot] = new;
-            }
-            None => self.root = new,
+        self.parent[node.index()] = new.0;
+        // The new node's child list is [node], appended at the arena tail.
+        self.children_flat.push(node);
+        self.child_start.push(
+            u32::try_from(self.children_flat.len())
+                // lint: allow(L001, children_flat holds at most one entry per u32-indexed node)
+                .expect("child arena exceeds u32 offsets"),
+        );
+        if old_parent == NO_PARENT {
+            self.root = new;
+        } else {
+            let range = self.child_range(NodeId(old_parent));
+            let slot = self.children_flat[range.clone()]
+                .iter()
+                .position(|&c| c == node)
+                // lint: allow(L001, parent/child links are a Tree construction invariant)
+                .expect("parent/child links out of sync");
+            self.children_flat[range.start + slot] = new;
         }
+        self.recompute_derived()
+            // lint: allow(L001, splicing one node into an acyclic tree cannot create a cycle)
+            .expect("splice_above preserves acyclicity");
         new
     }
 
@@ -323,21 +512,24 @@ impl Tree {
         if self.is_empty() {
             return Err(TreeError::Empty);
         }
-        let mut seen_as_child = vec![false; self.len()];
-        for n in self.node_ids() {
-            if let Some(p) = self.parent(n) {
-                if p.index() >= self.len() {
+        let n = self.len();
+        debug_assert_eq!(self.parent.len(), n);
+        debug_assert_eq!(self.child_start.len(), n + 1);
+        let mut seen_as_child = vec![false; n];
+        for node in self.node_ids() {
+            if let Some(p) = self.parent(node) {
+                if p.index() >= n {
                     return Err(TreeError::UnknownNode(p));
                 }
-                if !self.children(p).contains(&n) {
-                    return Err(TreeError::UnknownNode(n));
+                if !self.children(p).contains(&node) {
+                    return Err(TreeError::UnknownNode(node));
                 }
             }
-            for &c in self.children(n) {
-                if c.index() >= self.len() {
+            for &c in self.children(node) {
+                if c.index() >= n {
                     return Err(TreeError::UnknownNode(c));
                 }
-                if self.parent(c) != Some(n) {
+                if self.parent(c) != Some(node) {
                     return Err(TreeError::UnknownNode(c));
                 }
                 // A node listed twice (under one parent or several) would be
@@ -353,9 +545,36 @@ impl Tree {
         }
         self.check_acyclic()
     }
+
+    /// Every node must reach the root by following parent pointers: walk the
+    /// children from the root and require full coverage (O(n), iterative).
+    fn check_acyclic(&self) -> Result<(), TreeError> {
+        let n = self.len();
+        let mut reached = vec![false; n];
+        let mut stack = vec![self.root];
+        let mut count = 0usize;
+        while let Some(node) = stack.pop() {
+            if reached[node.index()] {
+                continue;
+            }
+            reached[node.index()] = true;
+            count += 1;
+            stack.extend(self.children(node).iter().copied());
+        }
+        if count == n {
+            Ok(())
+        } else {
+            let lowest = (0..n)
+                .find(|&i| !reached[i])
+                .map(NodeId::from_index)
+                .unwrap_or(self.root);
+            Err(TreeError::Cycle(lowest))
+        }
+    }
 }
 
-/// Incremental builder for [`Tree`] values.
+/// Incremental builder for [`Tree`] values: the only construction path into
+/// the frozen arena besides [`Tree::from_parents`] (which it delegates to).
 ///
 /// ```
 /// use oocts_tree::TreeBuilder;
@@ -416,7 +635,7 @@ impl TreeBuilder {
         self.weights.is_empty()
     }
 
-    /// Finalizes the tree.
+    /// Finalizes the frozen arena tree.
     pub fn build(self) -> Result<Tree, TreeError> {
         Tree::from_parents(&self.weights, &self.parents)
     }
@@ -439,38 +658,51 @@ mod tests {
     #[test]
     fn validate_rejects_corrupted_trees() {
         // The public constructors refuse these shapes, so corrupt the
-        // private fields directly: validate() is the last line of defense
-        // for future in-place mutation code.
+        // private arena fields directly: validate() is the last line of
+        // defense for future in-place mutation code.
+        // sample(): children_flat = [1, 3, 2] with child_start = [0,2,3,3,3].
 
-        // A two-cycle in the parent/children links.
+        // A two-cycle in the parent/children links: 0 <-> 1 (and node 2's
+        // slot in 1's children overwritten by 0).
         let mut t = sample();
-        t.parent[0] = Some(NodeId(1));
-        t.children[1].push(NodeId(0));
+        t.parent[0] = 1;
+        t.children_flat[2] = NodeId(0);
         assert!(matches!(
             t.validate(),
-            Err(TreeError::NoRoot | TreeError::Cycle(_))
+            Err(TreeError::NoRoot | TreeError::Cycle(_) | TreeError::UnknownNode(_))
         ));
 
-        // The same node listed as a child twice.
+        // The same node listed as a child twice (node 3's slot under the
+        // root overwritten by a second 1).
         let mut t = sample();
-        t.children[0].push(NodeId(1));
-        assert_eq!(t.validate(), Err(TreeError::DuplicateNode(NodeId(1))));
+        t.children_flat[1] = NodeId(1);
+        assert!(matches!(
+            t.validate(),
+            Err(TreeError::DuplicateNode(NodeId(1)) | TreeError::UnknownNode(_))
+        ));
 
         // A children list referencing a node outside the tree.
         let mut t = sample();
-        t.children[0].push(NodeId(99));
-        assert_eq!(t.validate(), Err(TreeError::UnknownNode(NodeId(99))));
+        t.children_flat[1] = NodeId(99);
+        assert!(matches!(t.validate(), Err(TreeError::UnknownNode(_))));
 
         // A child whose parent link points elsewhere.
         let mut t = sample();
-        t.parent[3] = Some(NodeId(1));
+        t.parent[3] = 1;
         assert!(t.validate().is_err());
 
         // An empty tree.
         let t = Tree {
             weights: Vec::new(),
             parent: Vec::new(),
-            children: Vec::new(),
+            child_start: vec![0],
+            children_flat: Vec::new(),
+            children_weight: Vec::new(),
+            postorder: Vec::new(),
+            postorder_pos: Vec::new(),
+            subtree_size: Vec::new(),
+            depth: Vec::new(),
+            height: 0,
             root: NodeId(0),
         };
         assert_eq!(t.validate(), Err(TreeError::Empty));
@@ -495,6 +727,39 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_is_contiguous_and_consistent() {
+        let t = sample();
+        // children_flat concatenates the child lists in node-index order.
+        assert_eq!(t.children_flat(), &[NodeId(1), NodeId(3), NodeId(2)]);
+        assert_eq!(t.child_range(NodeId(0)), 0..2);
+        assert_eq!(t.child_range(NodeId(1)), 2..3);
+        assert_eq!(t.child_range(NodeId(2)), 3..3);
+        // children() is exactly the child_range slice of children_flat.
+        for n in t.node_ids() {
+            assert_eq!(t.children(n), &t.children_flat()[t.child_range(n)]);
+        }
+        // Precomputed children weights match a recomputation.
+        for n in t.node_ids() {
+            let direct: u64 = t.children(n).iter().map(|&c| t.weight(c)).sum();
+            assert_eq!(t.children_weight(n), direct);
+        }
+    }
+
+    #[test]
+    fn set_weight_keeps_children_weight_in_sync() {
+        let mut t = sample();
+        assert_eq!(t.children_weight(NodeId(0)), 5);
+        t.set_weight(NodeId(1), 10);
+        assert_eq!(t.weight(NodeId(1)), 10);
+        assert_eq!(t.children_weight(NodeId(0)), 12);
+        t.set_weight(NodeId(1), 1);
+        assert_eq!(t.children_weight(NodeId(0)), 3);
+        // Re-weighting the root touches no parent.
+        t.set_weight(NodeId(0), 9);
+        assert_eq!(t.weight(NodeId(0)), 9);
+    }
+
+    #[test]
     fn execution_weights() {
         let t = sample();
         // root: max(5, 3 + 2) = 5 ; a: max(3, 4) = 4 ; leaf c: 4 ; leaf b: 2.
@@ -513,6 +778,7 @@ mod tests {
         let pos: std::collections::HashMap<_, _> =
             po.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in t.node_ids() {
+            assert_eq!(pos[&n], t.postorder_position(n));
             if let Some(p) = t.parent(n) {
                 assert!(pos[&n] < pos[&p]);
             }
@@ -534,6 +800,12 @@ mod tests {
             Tree::from_parents(&[1], &[Some(5)]),
             Err(TreeError::UnknownNode(_))
         ));
+        // A cycle hanging off a valid rooted part: nodes 1 <-> 2 never reach
+        // the root; the lowest-index cycle node is blamed.
+        assert_eq!(
+            Tree::from_parents(&[1, 1, 1], &[None, Some(2), Some(1)]),
+            Err(TreeError::Cycle(NodeId(1)))
+        );
     }
 
     #[test]
@@ -547,6 +819,13 @@ mod tests {
         assert_eq!(t.parent(new), Some(NodeId(0)));
         assert!(t.children(NodeId(0)).contains(&new));
         assert!(!t.children(NodeId(0)).contains(&a));
+        // The new node keeps a's old slot, so sibling order is preserved.
+        assert_eq!(t.children(NodeId(0)), &[new, NodeId(3)]);
+        // Derived arrays were rebuilt: the subtree below `new` grew by one.
+        assert_eq!(t.subtree_size(new), 3);
+        assert_eq!(t.depth(NodeId(2)), 3);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.children_weight(NodeId(0)), 99 + 2);
     }
 
     #[test]
@@ -557,6 +836,7 @@ mod tests {
         t.validate().unwrap();
         assert_eq!(t.root(), new);
         assert_eq!(t.parent(old_root), Some(new));
+        assert_eq!(t.postorder().last(), Some(&new));
     }
 
     #[test]
@@ -573,6 +853,29 @@ mod tests {
         assert_eq!(t.subtree_size(NodeId(1)), 2);
         assert_eq!(t.subtree_size(t.root()), 4);
         let po = t.subtree_postorder(NodeId(1));
-        assert_eq!(po, vec![NodeId(2), NodeId(1)]);
+        assert_eq!(po, &[NodeId(2), NodeId(1)]);
+        // The whole-tree postorder is itself the root's subtree slice.
+        assert_eq!(t.subtree_postorder(t.root()), t.postorder());
+        // Preorder subtree listing still starts at the subtree root.
+        let pre = t.subtree_nodes(NodeId(1));
+        assert_eq!(pre[0], NodeId(1));
+        assert_eq!(pre.len(), 2);
+    }
+
+    #[test]
+    fn deep_chain_builds_without_quadratic_blowup() {
+        // A 200k-deep chain: O(n) construction and O(1) depth queries; the
+        // old walk-to-root acyclicity check would take O(n^2) here.
+        let n = 200_000usize;
+        let weights = vec![1u64; n];
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        let t = Tree::from_parents(&weights, &parents).unwrap();
+        assert_eq!(t.height(), n - 1);
+        assert_eq!(t.depth(NodeId::from_index(n - 1)), n - 1);
+        assert_eq!(t.subtree_size(t.root()), n);
+        assert_eq!(t.postorder().first(), Some(&NodeId::from_index(n - 1)));
+        t.validate().unwrap();
     }
 }

@@ -133,3 +133,101 @@ fn golden_replay_is_byte_identical_at_one_and_four_threads() {
     // And the two replays agree with each other down to the CSV bytes.
     assert_eq!(single.to_csv(), parallel.to_csv());
 }
+
+/// Replays the corpus through the *direct* solver entry points — Liu's
+/// OptMinMem, PostOrderMinIO and RecExpand/FullRecExpand on the arena tree,
+/// bypassing the registry and the parallel runner entirely — and checks each
+/// cell bit-for-bit against `golden.tsv`. This pins the arena refactor: the
+/// flat CSR layout and the scratch-space hot paths must reproduce the exact
+/// committed I/O volumes and peaks.
+#[test]
+fn direct_solvers_reproduce_golden_cells_on_the_arena() {
+    use oocts::minmem::post_order_min_mem;
+
+    let committed = std::fs::read_to_string(corpus_dir().join("golden.tsv")).unwrap();
+    let expected = parse_golden(&committed).unwrap();
+    let cells: HashMap<(String, String), &GoldenRecord> = expected
+        .iter()
+        .map(|r| ((r.instance.clone(), r.scheduler.clone()), r))
+        .collect();
+
+    let check = |tree: &Tree, name: &str, instance: &str, schedule: &Schedule, m: u64| {
+        let io = fif_io(tree, schedule, m).unwrap().total_io;
+        let peak = peak_memory(tree, schedule).unwrap();
+        let golden = cells
+            .get(&(instance.to_string(), name.to_string()))
+            .unwrap_or_else(|| panic!("{instance}/{name} missing from golden.tsv"));
+        assert_eq!(
+            (io, peak),
+            (golden.io_volume, golden.peak_memory),
+            "{instance}/{name} diverges from golden.tsv"
+        );
+    };
+
+    let mut checked = 0;
+    for inst in load_dir(&corpus_dir()).unwrap() {
+        // The memory bound is part of the committed record; every scheduler
+        // of one instance ran under the same bound.
+        let m = expected
+            .iter()
+            .find(|r| r.instance == inst.name)
+            .map(|r| r.memory)
+            .unwrap_or_else(|| panic!("{} missing from golden.tsv", inst.name));
+
+        let (s, _) = opt_min_mem(&inst.tree);
+        check(&inst.tree, "OptMinMem", &inst.name, &s, m);
+        let (s, _) = post_order_min_io(&inst.tree, m);
+        check(&inst.tree, "PostOrderMinIO", &inst.name, &s, m);
+        let (s, _) = post_order_min_mem(&inst.tree);
+        check(&inst.tree, "PostOrderMinMem", &inst.name, &s, m);
+        let out = rec_expand(&inst.tree, m).unwrap();
+        check(&inst.tree, "RecExpand", &inst.name, &out.schedule, m);
+        let out = full_rec_expand(&inst.tree, m).unwrap();
+        check(&inst.tree, "FullRecExpand", &inst.name, &out.schedule, m);
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "expected the committed corpus, found {checked}"
+    );
+}
+
+/// Brute-force-gated equivalence on small random trees: the exhaustive
+/// oracles bound every heuristic, and Liu's algorithm is *exactly* optimal
+/// for peak memory. Small sizes keep the factorial oracles tractable.
+#[test]
+fn solvers_agree_with_brute_force_on_small_trees() {
+    use oocts::gen::random::uniform_attachment_tree;
+    use oocts::minmem::brute_force_min_peak;
+    use oocts_core::brute_force_min_io;
+
+    for seed in 0..24u64 {
+        let n = 2 + (seed % 7) as usize; // 2..=8 nodes
+        let tree = uniform_attachment_tree(n, 1..=9, 0xA11CE + seed);
+        let (s_opt, peak_opt) = opt_min_mem(&tree);
+        let (_, peak_best) = brute_force_min_peak(&tree);
+        assert_eq!(peak_opt, peak_best, "Liu must be optimal (seed {seed})");
+
+        // Middle bound, as in the golden corpus: (LB + Peak) / 2, clamped
+        // to feasibility.
+        let m = tree
+            .min_feasible_memory()
+            .max((tree.min_feasible_memory() + peak_opt) / 2);
+        let (_, io_best) = brute_force_min_io(&tree, m).unwrap();
+
+        let heuristics: Vec<(&str, Schedule)> = vec![
+            ("OptMinMem", s_opt),
+            ("PostOrderMinIO", post_order_min_io(&tree, m).0),
+            ("RecExpand", rec_expand(&tree, m).unwrap().schedule),
+            ("FullRecExpand", full_rec_expand(&tree, m).unwrap().schedule),
+        ];
+        for (name, schedule) in &heuristics {
+            schedule.validate(&tree).unwrap();
+            let io = fif_io(&tree, schedule, m).unwrap().total_io;
+            assert!(
+                io >= io_best,
+                "{name} beat the exhaustive optimum on seed {seed}: {io} < {io_best}"
+            );
+        }
+    }
+}

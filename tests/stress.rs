@@ -1,0 +1,117 @@
+//! Million-node stress test for the arena and the scratch-space hot paths.
+//!
+//! Ignored by default (it is a wall-time benchmark as much as a test); CI
+//! runs it explicitly in release mode:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored --nocapture
+//! ```
+//!
+//! The instance is a TREES-style complete binary tree of 2^20 − 1 nodes
+//! with depth-dependent weights (heavier towards the leaves, as in the
+//! paper's elimination-tree datasets, where the large fronts sit deep).
+
+use std::time::Instant;
+
+use oocts::minmem::{opt_min_mem_peak, post_order_min_mem};
+use oocts::prelude::*;
+
+/// 2^20 − 1 = 1 048 575 nodes.
+const HEIGHT: usize = 19;
+
+fn million_node_tree() -> Tree {
+    let mut tree = oocts::gen::random::complete_kary(2, HEIGHT, 1);
+    // Heavier leaves: weight grows with depth so postorder and optimal
+    // traversals genuinely differ and the merge paths see large segments.
+    for node in tree.node_ids().collect::<Vec<_>>() {
+        let w = 1 + (tree.depth(node) as u64) * 3 + (node.index() as u64 % 5);
+        tree.set_weight(node, w);
+    }
+    tree
+}
+
+#[test]
+#[ignore = "million-node stress: run explicitly in release (CI does)"]
+fn million_node_tree_through_liu_and_postorder() {
+    let started = Instant::now();
+    let tree = million_node_tree();
+    println!(
+        "build: {} nodes, height {}, {:.3}s",
+        tree.len(),
+        tree.height(),
+        started.elapsed().as_secs_f64()
+    );
+    assert_eq!(tree.len(), (1 << (HEIGHT + 1)) - 1);
+    assert_eq!(tree.height(), HEIGHT);
+    assert_eq!(tree.postorder().len(), tree.len());
+
+    // Liu's OptMinMem over the full arena.
+    let t = Instant::now();
+    let (s_opt, peak_opt) = opt_min_mem(&tree);
+    println!(
+        "OptMinMem: peak {peak_opt}, {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
+    assert_eq!(s_opt.len(), tree.len());
+    assert_eq!(opt_min_mem_peak(&tree), peak_opt);
+
+    // Best postorder for peak memory.
+    let t = Instant::now();
+    let (s_post, peak_post) = post_order_min_mem(&tree);
+    println!(
+        "PostOrderMinMem: peak {peak_post}, {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
+    assert_eq!(s_post.len(), tree.len());
+    assert!(s_post.is_postorder(&tree));
+
+    // Peak-memory monotonicity: LB ≤ optimal ≤ best postorder ≤ Σ w.
+    let lb = tree.min_feasible_memory();
+    let total = tree.total_weight();
+    assert!(lb <= peak_opt, "optimal peak below the feasibility bound");
+    assert!(
+        peak_opt <= peak_post,
+        "a postorder beat the optimal traversal: {peak_post} < {peak_opt}"
+    );
+    assert!(peak_post <= total, "peak above the total weight");
+
+    // Replay the optimal traversal out-of-core at the Middle bound and
+    // check the simulated in-core peak agrees with the solver's claim.
+    let m = (lb + peak_opt) / 2;
+    let t = Instant::now();
+    let io = fif_io(&tree, &s_opt, m).unwrap();
+    println!(
+        "FiF at Mmid={m}: io {}, {:.3}s",
+        io.total_io,
+        t.elapsed().as_secs_f64()
+    );
+    assert!(io.total_io > 0, "Mmid is below the peak, I/O must occur");
+    assert_eq!(io.peak_in_core, peak_memory(&tree, &s_opt).unwrap());
+    assert_eq!(io.peak_in_core, peak_opt);
+
+    println!("total: {:.3}s", started.elapsed().as_secs_f64());
+}
+
+/// The best-postorder I/O analysis also completes at this scale and its
+/// prediction matches the FiF simulation exactly.
+#[test]
+#[ignore = "million-node stress: run explicitly in release (CI does)"]
+fn million_node_postorder_io_analysis_matches_simulation() {
+    let tree = million_node_tree();
+    let lb = tree.min_feasible_memory();
+    let m = lb + (opt_min_mem_peak(&tree) - lb) / 4;
+
+    let t = Instant::now();
+    let (schedule, analysis) = post_order_min_io(&tree, m);
+    println!(
+        "PostOrderMinIO: predicted io {}, {:.3}s",
+        analysis.total_io(&tree),
+        t.elapsed().as_secs_f64()
+    );
+    let sim = fif_io(&tree, &schedule, m).unwrap();
+    assert_eq!(
+        analysis.total_io(&tree),
+        sim.total_io,
+        "analysis and FiF simulation disagree at the million-node scale"
+    );
+}
