@@ -14,7 +14,7 @@
 //! registered name.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -289,10 +289,13 @@ impl ExperimentResults {
 ///
 /// # Errors
 /// Returns the error of the lowest-indexed failing instance, naming the
-/// (instance, scheduler) cell that failed; the remaining work is abandoned
-/// as soon as any worker records an error. The paper's memory bounds are
-/// feasible by construction, so an error indicates a misconfigured instance
-/// or a buggy strategy.
+/// (instance, scheduler) cell that failed. The first error raises a shared
+/// atomic cancellation flag that every worker checks between instances and
+/// between scheduler cells within an instance, so the remaining work —
+/// including the unfinished schedulers of in-flight instances — is
+/// abandoned promptly. The paper's memory bounds are feasible by
+/// construction, so an error indicates a misconfigured instance or a buggy
+/// strategy.
 pub fn run_experiment(
     instances: &[(String, Tree)],
     config: &ExperimentConfig,
@@ -306,9 +309,16 @@ pub fn run_experiment(
     };
 
     let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; instances.len()]);
-    // The failing cell with the lowest instance index: with several workers
-    // in flight more than one can fail, and keeping the lowest-indexed one
-    // makes the reported error independent of thread scheduling.
+    // Cancellation is split into a hot and a cold half. The hot half is one
+    // `AtomicBool` that workers poll between instances *and* between
+    // scheduler cells inside an instance — no lock on the hot path, and a
+    // poisoned run aborts mid-instance instead of at the next instance
+    // boundary. The cold half keeps the failing cell with the lowest
+    // instance index behind a mutex (touched only on error): with several
+    // workers in flight more than one can fail, and reducing to the
+    // lowest-indexed one makes the reported error independent of thread
+    // scheduling.
+    let cancelled = AtomicBool::new(false);
     let first_error: Mutex<Option<(usize, ExperimentError)>> = Mutex::new(None);
     // Work distribution: each worker claims the next unprocessed instance
     // index; no queue to fill and nothing to disconnect.
@@ -317,16 +327,17 @@ pub fn run_experiment(
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             let results = &results;
+            let cancelled = &cancelled;
             let first_error = &first_error;
             let next = &next;
             let config = &config;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= instances.len() || first_error.lock().is_some() {
+                if i >= instances.len() || cancelled.load(Ordering::Acquire) {
                     break;
                 }
                 let (name, tree) = &instances[i];
-                match evaluate_instance(name, tree, config) {
+                match evaluate_instance(name, tree, config, cancelled) {
                     Ok(Some(r)) => results.lock()[i] = Some(r),
                     Ok(None) => {}
                     Err(e) => {
@@ -334,6 +345,8 @@ pub fn run_experiment(
                         if slot.as_ref().is_none_or(|(j, _)| i < *j) {
                             *slot = Some((i, e));
                         }
+                        drop(slot);
+                        cancelled.store(true, Ordering::Release);
                         break;
                     }
                 }
@@ -355,6 +368,7 @@ fn evaluate_instance(
     name: &str,
     tree: &Tree,
     config: &ExperimentConfig,
+    cancelled: &AtomicBool,
 ) -> Result<Option<InstanceResult>, ExperimentError> {
     let bounds = MemoryBounds::of(tree);
     if config.filter_interesting && !bounds.is_interesting() {
@@ -366,6 +380,11 @@ fn evaluate_instance(
     let mut peak_memories = Vec::with_capacity(config.schedulers.len());
     let mut wall_times = Vec::with_capacity(config.schedulers.len());
     for scheduler in &config.schedulers {
+        // Another worker hit an error: abandon this instance between two
+        // scheduler cells; its partial results are dropped with it.
+        if cancelled.load(Ordering::Acquire) {
+            return Ok(None);
+        }
         let report = scheduler
             .solve(tree, memory)
             .map_err(|source| ExperimentError {
@@ -591,6 +610,111 @@ mod tests {
             assert!(rendered.contains("inst-poison"), "{rendered}");
             assert!(rendered.contains("FailsOn"), "{rendered}");
         }
+    }
+
+    /// Schedulers for the mid-instance-abort test below. On the big
+    /// instance, `GateFirst` blocks until the poison instance has failed
+    /// (plus a grace period for the worker loop to raise the cancellation
+    /// flag); on the small poison instance it fails immediately. `CountSecond`
+    /// records whether it was ever invoked on the big instance — it must not
+    /// be, because the runner checks the cancellation flag *between*
+    /// scheduler cells.
+    #[derive(Debug)]
+    struct GateFirst {
+        poisoned: Arc<AtomicBool>,
+        big_nodes: usize,
+    }
+
+    impl Scheduler for GateFirst {
+        fn name(&self) -> String {
+            "GateFirst".to_string()
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            if tree.len() == self.big_nodes {
+                // Wait (bounded) for the poison instance to fail on the
+                // other worker, then give its worker loop time to store the
+                // cancellation flag.
+                let started = std::time::Instant::now();
+                while !self.poisoned.load(Ordering::Acquire) {
+                    assert!(
+                        started.elapsed() < Duration::from_secs(10),
+                        "poison instance never failed; is the runner still parallel?"
+                    );
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(Schedule::postorder(tree))
+            } else {
+                self.poisoned.store(true, Ordering::Release);
+                Err(TreeError::Empty)
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct CountSecond {
+        ran_on_big: Arc<AtomicBool>,
+        big_nodes: usize,
+    }
+
+    impl Scheduler for CountSecond {
+        fn name(&self) -> String {
+            "CountSecond".to_string()
+        }
+
+        fn schedule(&self, tree: &Tree, _memory: u64) -> Result<Schedule, TreeError> {
+            if tree.len() == self.big_nodes {
+                self.ran_on_big.store(true, Ordering::Release);
+            }
+            Ok(Schedule::postorder(tree))
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_instance_between_scheduler_cells() {
+        // Instance 0 is "big" (9 nodes), instance 1 is the poison (5 nodes).
+        // With two workers, the big instance's first cell blocks until the
+        // poison instance has failed; by the time it returns, the
+        // cancellation flag is up and the second scheduler must never run
+        // on the big instance.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1);
+        let mut prev = r;
+        for w in 2..10u64 {
+            prev = b.add_child(prev, w);
+        }
+        let big = ("big".to_string(), b.build().unwrap());
+        assert_eq!(big.1.len(), 9);
+        let small = instance(0);
+        assert_eq!(small.1.len(), 5);
+
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let ran_on_big = Arc::new(AtomicBool::new(false));
+        let config = ExperimentConfig {
+            threads: 2,
+            ..ExperimentConfig::new(
+                vec![
+                    Arc::new(GateFirst {
+                        poisoned: Arc::clone(&poisoned),
+                        big_nodes: 9,
+                    }),
+                    Arc::new(CountSecond {
+                        ran_on_big: Arc::clone(&ran_on_big),
+                        big_nodes: 9,
+                    }),
+                ],
+                MemoryBound::Middle,
+            )
+        };
+        let err = run_experiment(&[big, small], &config).unwrap_err();
+        assert_eq!(err.instance, "inst-0");
+        assert_eq!(err.scheduler, "GateFirst");
+        assert!(
+            !ran_on_big.load(Ordering::Acquire),
+            "the second scheduler cell of the big instance ran after the \
+             poison error; cancellation must abort mid-instance"
+        );
     }
 
     #[test]
