@@ -13,7 +13,7 @@ use oocts_bench::{
 use oocts_profile::bounds::MemoryBound;
 
 fn quick_cli() -> Cli {
-    let mut cli = Cli::parse(["--quick".to_string()]);
+    let mut cli = Cli::parse(["--quick".to_string()]).expect("--quick parses");
     cli.trees = 8;
     cli.nodes = 300;
     cli.scale = 1;

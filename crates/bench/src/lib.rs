@@ -93,33 +93,71 @@ impl Default for Cli {
     }
 }
 
+/// A command-line usage error from [`Cli::parse`]: the offending option and
+/// what was wrong with its value. Rendered, it reads like
+/// `--threads: invalid value "many" (expected a number)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// The option the error is about (e.g. `--threads`).
+    pub option: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(option: &str, message: impl Into<String>) -> CliError {
+        CliError {
+            option: option.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.option, self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The one-line usage string shared by all figure binaries.
+pub const USAGE: &str = "options: --trees N --nodes K --scale S --seed X --threads T \
+                         --algos a,b,c --no-full --quick";
+
 impl Cli {
     /// Parses the common command-line options; exits on `--help`.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Cli {
+    ///
+    /// # Errors
+    /// Returns a [`CliError`] on an unknown option, a missing value, or a
+    /// value that does not parse (including `--algos` names the scheduler
+    /// registry rejects). Binaries report it via [`Cli::parse_or_exit`].
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, CliError> {
         let mut cli = Cli::default();
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
                 args.next()
-                    .unwrap_or_else(|| panic!("missing value for {name}"))
+                    .ok_or_else(|| CliError::new(name, "missing value"))
             };
+            fn number<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, CliError> {
+                raw.parse().map_err(|_| {
+                    CliError::new(name, format!("invalid value {raw:?} (expected a number)"))
+                })
+            }
             match arg.as_str() {
-                "--trees" => cli.trees = value("--trees").parse().expect("--trees wants a number"),
-                "--nodes" => cli.nodes = value("--nodes").parse().expect("--nodes wants a number"),
-                "--scale" => cli.scale = value("--scale").parse().expect("--scale wants a number"),
-                "--seed" => cli.seed = value("--seed").parse().expect("--seed wants a number"),
-                "--threads" => {
-                    cli.threads = value("--threads")
-                        .parse()
-                        .expect("--threads wants a number")
-                }
+                "--trees" => cli.trees = number("--trees", value("--trees")?)?,
+                "--nodes" => cli.nodes = number("--nodes", value("--nodes")?)?,
+                "--scale" => cli.scale = number("--scale", value("--scale")?)?,
+                "--seed" => cli.seed = number("--seed", value("--seed")?)?,
+                "--threads" => cli.threads = number("--threads", value("--threads")?)?,
                 "--algos" => {
                     let registry = SchedulerRegistry::with_builtins();
-                    let list = value("--algos");
+                    let list = value("--algos")?;
                     cli.algos = Some(
                         registry
                             .get_list(&list)
-                            .unwrap_or_else(|e| panic!("--algos: {e}")),
+                            .map_err(|e| CliError::new("--algos", e.to_string()))?,
                     );
                 }
                 "--no-full" => cli.full = false,
@@ -129,20 +167,27 @@ impl Cli {
                     cli.scale = 1;
                 }
                 "--help" | "-h" => {
-                    println!(
-                        "options: --trees N --nodes K --scale S --seed X --threads T \
-                         --algos a,b,c --no-full --quick"
-                    );
+                    println!("{USAGE}");
                     println!(
                         "registered schedulers: {}",
                         SchedulerRegistry::with_builtins().names().join(", ")
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown option {other}"),
+                other => return Err(CliError::new(other, "unknown option")),
             }
         }
-        cli
+        Ok(cli)
+    }
+
+    /// [`Cli::parse`] for binaries: on a usage error, prints the error and
+    /// the usage string to stderr and exits with code 2.
+    pub fn parse_or_exit(args: impl IntoIterator<Item = String>) -> Cli {
+        Cli::parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// The names of the schedulers selected with `--algos`; `None` if the
@@ -370,29 +415,54 @@ pub fn appendix_examples_report() -> String {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn cli_parses_options() {
-        let cli = Cli::parse(
-            ["--trees", "5", "--nodes", "100", "--seed", "9", "--no-full"].map(str::to_string),
-        );
+        let cli = parse(&["--trees", "5", "--nodes", "100", "--seed", "9", "--no-full"]).unwrap();
         assert_eq!(cli.trees, 5);
         assert_eq!(cli.nodes, 100);
         assert_eq!(cli.seed, 9);
         assert!(!cli.full);
-        let quick = Cli::parse(["--quick".to_string()]);
+        let quick = parse(&["--quick"]).unwrap();
         assert_eq!(quick.trees, 30);
     }
 
     #[test]
-    #[should_panic(expected = "unknown option")]
     fn cli_rejects_unknown_options() {
-        Cli::parse(["--bogus".to_string()]);
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert_eq!(err.option, "--bogus");
+        assert_eq!(err.message, "unknown option");
+    }
+
+    #[test]
+    fn cli_rejects_bad_numeric_values() {
+        let err = parse(&["--threads", "many"]).unwrap_err();
+        assert_eq!(err.option, "--threads");
+        assert!(err.message.contains("\"many\""), "{err}");
+        assert!(err.message.contains("expected a number"), "{err}");
+        let err = parse(&["--scale", "2.5"]).unwrap_err();
+        assert_eq!(err.option, "--scale");
+        let err = parse(&["--trees", "-3"]).unwrap_err();
+        assert_eq!(err.option, "--trees");
+        // The rendered form names the flag, so the user knows what to fix.
+        assert!(err.to_string().starts_with("--trees: "), "{err}");
+    }
+
+    #[test]
+    fn cli_rejects_missing_values() {
+        let err = parse(&["--seed"]).unwrap_err();
+        assert_eq!(err.option, "--seed");
+        assert_eq!(err.message, "missing value");
+        let err = parse(&["--algos"]).unwrap_err();
+        assert_eq!(err.option, "--algos");
     }
 
     #[test]
     fn cli_resolves_algos_through_the_registry() {
-        let cli =
-            Cli::parse(["--algos", "postorderminio,RecExpand(max_rounds=4)"].map(str::to_string));
+        let cli = parse(&["--algos", "postorderminio,RecExpand(max_rounds=4)"]).unwrap();
         assert_eq!(
             cli.algo_names().unwrap(),
             ["PostOrderMinIO", "RecExpand(max_rounds=4)"]
@@ -403,15 +473,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--algos")]
     fn cli_rejects_unknown_algos() {
-        Cli::parse(["--algos", "NoSuchScheduler"].map(str::to_string));
+        let err = parse(&["--algos", "NoSuchScheduler"]).unwrap_err();
+        assert_eq!(err.option, "--algos");
+        assert!(err.message.contains("NoSuchScheduler"), "{err}");
     }
 
     #[test]
     fn synth_figure_honours_algo_selection() {
         let mut cli =
-            Cli::parse(["--quick", "--algos", "PostOrderMinIO,OptMinMem"].map(str::to_string));
+            Cli::parse(["--quick", "--algos", "PostOrderMinIO,OptMinMem"].map(str::to_string))
+                .unwrap();
         cli.trees = 4;
         cli.nodes = 150;
         let report = synth_figure(&cli, MemoryBound::Middle, "Figure 4 (selected)");
@@ -438,7 +510,7 @@ mod tests {
 
     #[test]
     fn ablation_report_runs_and_is_monotone_in_spirit() {
-        let mut cli = Cli::parse(["--quick".to_string()]);
+        let mut cli = Cli::parse(["--quick".to_string()]).unwrap();
         cli.trees = 5;
         cli.nodes = 200;
         let report = recexpand_ablation_report(&cli);
@@ -449,7 +521,7 @@ mod tests {
 
     #[test]
     fn synth_figure_quick_run() {
-        let mut cli = Cli::parse(["--quick".to_string()]);
+        let mut cli = Cli::parse(["--quick".to_string()]).unwrap();
         cli.trees = 6;
         cli.nodes = 200;
         cli.full = false;
@@ -461,7 +533,7 @@ mod tests {
 
     #[test]
     fn trees_figure_quick_run() {
-        let mut cli = Cli::parse(["--quick".to_string()]);
+        let mut cli = Cli::parse(["--quick".to_string()]).unwrap();
         cli.scale = 1;
         cli.threads = 0;
         let report = trees_figure(&cli, MemoryBound::Middle, "Figure 5 (quick)");
