@@ -1,9 +1,16 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides [`channel::unbounded`], the multi-producer multi-consumer
-//! channel the experiment runner uses as a work queue. Built on a
-//! mutex-protected `VecDeque` plus a condition variable — plenty for
-//! distributing coarse-grained work items.
+//! Provides [`channel::unbounded`] and [`channel::bounded`], the
+//! multi-producer multi-consumer channels the experiment engine uses for
+//! streaming results, plus [`deque`], the work-stealing
+//! `Worker`/`Stealer`/`Injector` trio the engine schedules cells with.
+//! All of it is built on mutex-protected `VecDeque`s plus condition
+//! variables — no `unsafe` anywhere (see the [`deque`] module docs for why
+//! the real Chase–Lev deque is out of reach without it).
+
+#![forbid(unsafe_code)]
+
+pub mod deque;
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
@@ -14,6 +21,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// `None` for unbounded channels; bounded senders block while the
+        /// queue holds `cap` items.
+        cap: Option<usize>,
+        vacancy: Condvar,
         senders: AtomicUsize,
     }
 
@@ -39,9 +50,23 @@ pub mod channel {
 
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel of capacity `cap` (at least 1):
+    /// [`Sender::send`] blocks while the queue is full, providing
+    /// backpressure — a slow consumer throttles the producers instead of
+    /// letting results pile up in memory.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            cap,
+            vacancy: Condvar::new(),
             senders: AtomicUsize::new(1),
         });
         (
@@ -53,13 +78,25 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; never blocks.
+        /// Enqueues `value`. Unbounded channels never block; bounded ones
+        /// block while full. A bounded send to a channel whose receivers
+        /// are all gone would otherwise deadlock, so it is not detected
+        /// here — the engine's protocol drops the senders first.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self
                 .inner
                 .queue
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = self.inner.cap {
+                while queue.len() >= cap {
+                    queue = self
+                        .inner
+                        .vacancy
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.inner.ready.notify_one();
@@ -97,6 +134,9 @@ pub mod channel {
                 .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    // A bounded sender may be blocked on a full queue.
+                    self.inner.vacancy.notify_one();
                     return Ok(value);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -134,6 +174,28 @@ mod tests {
         for i in 0..10 {
             assert_eq!(rx.recv(), Ok(i));
         }
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_and_stays_in_order() {
+        let (tx, rx) = channel::bounded(2);
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let counter = std::sync::Arc::clone(&produced);
+            scope.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+            });
+            // The producer cannot run ahead by more than the capacity.
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+                let ahead = produced.load(std::sync::atomic::Ordering::SeqCst);
+                assert!(ahead <= i + 1 + 2 + 1, "producer ran {ahead} ahead of {i}");
+            }
+        });
         assert_eq!(rx.recv(), Err(channel::RecvError));
     }
 
