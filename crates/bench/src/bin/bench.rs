@@ -13,52 +13,106 @@
 //!
 //! * default — run the matrix, validate the snapshot in-process, write
 //!   `BENCH_<label>.json` (options: `--quick`, `--label L`, `--seed X`,
-//!   `--threads a,b,c`);
+//!   `--threads a,b,c`, `--imbalanced`, `--sharding instance|cell`);
 //! * `--validate FILE` — parse and schema-check an existing snapshot, exit
 //!   non-zero on violation (the CI gate);
 //! * `--emit-corpus DIR` — regenerate the golden regression corpus
 //!   (`*.tree` snapshots + `golden.tsv`) into `DIR`; the committed copy
 //!   lives in `tests/corpus/`.
+//!
+//! The `BENCH_pr10_before.json` / `BENCH_pr10.json` pair at the repository
+//! root was produced with:
+//!
+//! ```text
+//! bench --imbalanced --threads 8 --sharding instance --label pr10_before
+//! bench --imbalanced --threads 8 --sharding cell     --label pr10
+//! ```
+//!
+//! Usage errors exit with code 2.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use oocts_bench::perf::{corpus_golden, corpus_instances, run_bench, validate_bench, BenchConfig};
 use oocts_gen::corpus::{format_golden, format_instance};
+use oocts_profile::engine::Granularity;
 use serde::value::Value;
 
-fn main() -> ExitCode {
+const USAGE: &str = "usage: bench [--quick] [--label L] [--seed X] [--threads a,b,c] \
+                     [--imbalanced] [--sharding instance|cell]\n\
+                     \x20      bench --validate BENCH_x.json\n\
+                     \x20      bench --emit-corpus tests/corpus";
+
+/// What the command line asked for.
+enum Mode {
+    Run(BenchConfig),
+    Validate(String),
+    EmitCorpus(String, BenchConfig),
+    Help,
+}
+
+/// Parses the bench command line; a `String` error is a usage error.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Mode, String> {
     let mut config = BenchConfig::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--quick" => config.quick = true,
-            "--label" => config.label = value("--label"),
-            "--seed" => config.seed = value("--seed").parse().expect("--seed wants a number"),
+            "--imbalanced" => config.imbalanced = true,
+            "--label" => config.label = value("--label")?,
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed wants a number".to_string())?;
+            }
             "--threads" => {
-                config.threads = value("--threads")
+                config.threads = value("--threads")?
                     .split(',')
-                    .map(|t| t.trim().parse().expect("--threads wants numbers"))
-                    .collect();
-                assert!(!config.threads.is_empty(), "--threads wants numbers");
+                    .map(|t| t.trim().parse().map_err(|_| "--threads wants numbers"))
+                    .collect::<Result<_, _>>()?;
+                if config.threads.is_empty() {
+                    return Err("--threads wants numbers".to_string());
+                }
             }
-            "--validate" => return validate_file(Path::new(&value("--validate"))),
-            "--emit-corpus" => return emit_corpus(Path::new(&value("--emit-corpus")), &config),
-            "--help" | "-h" => {
-                println!(
-                    "usage: bench [--quick] [--label L] [--seed X] [--threads a,b,c]\n\
-                     \x20      bench --validate BENCH_x.json\n\
-                     \x20      bench --emit-corpus tests/corpus"
-                );
-                return ExitCode::SUCCESS;
+            "--sharding" => {
+                config.granularity = match value("--sharding")?.as_str() {
+                    "cell" => Granularity::Cell,
+                    "instance" => Granularity::Instance,
+                    other => {
+                        return Err(format!(
+                            "--sharding wants 'instance' or 'cell', found {other:?}"
+                        ))
+                    }
+                };
             }
-            other => panic!("unknown option {other}"),
+            "--validate" => return Ok(Mode::Validate(value("--validate")?)),
+            "--emit-corpus" => return Ok(Mode::EmitCorpus(value("--emit-corpus")?, config)),
+            "--help" | "-h" => return Ok(Mode::Help),
+            other => return Err(format!("unknown option {other}")),
         }
     }
+    Ok(Mode::Run(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(Mode::Run(config)) => config,
+        Ok(Mode::Validate(path)) => return validate_file(Path::new(&path)),
+        Ok(Mode::EmitCorpus(dir, config)) => return emit_corpus(Path::new(&dir), &config),
+        Ok(Mode::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("bench: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     let snapshot = match run_bench(&config) {
         Ok(s) => s,

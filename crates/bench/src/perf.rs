@@ -47,7 +47,41 @@
 //!   of the paper's `(M + IO)/M` metric. Deterministic.
 //! * `wall_ms` — [`ExperimentResults::total_schedule_time`] in milliseconds:
 //!   the summed scheduling wall-time of the scheduler over all instances.
-//!   The only machine-dependent field; compare trends, not digits.
+//!   Machine-dependent; compare trends, not digits.
+//! * `engine` *(optional, schema-compatible addition)* — execution-engine
+//!   statistics of the run that produced the cell, identical across the
+//!   cells of one run:
+//!
+//!   ```json
+//!   "engine": {
+//!     "granularity": "Cell",
+//!     "threads": 8,
+//!     "elapsed_ms": 41.7,
+//!     "cells": 256,
+//!     "executed": 320,
+//!     "stolen": 12,
+//!     "injected": 58,
+//!     "cell_wall_ms": 33.1,
+//!     "csv_fnv64": "0x9b1a3f6c2d4e5a70"
+//!   }
+//!   ```
+//!
+//!   `granularity` is the engine decomposition (`"Cell"` or `"Instance"`);
+//!   `elapsed_ms` the parallel wall-clock of the whole run (the number the
+//!   `BENCH_pr10_before`/`BENCH_pr10` pair compares); `cells` the scheduler
+//!   cells executed; `executed`/`stolen`/`injected` the summed per-worker
+//!   task counters; `cell_wall_ms` the total engine-measured wall-time of
+//!   *this scheduler's* cells; `csv_fnv64` the FNV-1a digest of the run's
+//!   streamed per-instance CSV — deterministic, so identical digests across
+//!   snapshots prove bit-identical CSV bytes. All `*_ms` fields are
+//!   machine-dependent; everything else in `engine` except the counters is
+//!   deterministic.
+//!
+//! Families are `"SYNTH"`, `"TREES"`, and `"IMBAL"` (the deliberately
+//! imbalanced grid of `bench --imbalanced`: one huge instance plus many
+//! tiny ones, built to measure load-balancing of the execution engine;
+//! it runs the comparable-cost [`IMBAL_SCHEDULERS`] so the huge row can
+//! actually be split across workers).
 //!
 //! [`validate_bench`] checks this shape and is what the CI gate (and the
 //! `bench --validate` flag) runs against freshly emitted snapshots.
@@ -64,7 +98,10 @@ use oocts_core::scheduler::{builtin_schedulers, Scheduler};
 use oocts_gen::corpus::GoldenRecord;
 use oocts_gen::dataset::{synth_dataset, trees_dataset, DatasetConfig, Instance};
 use oocts_profile::bounds::MemoryBound;
-use oocts_profile::runner::{run_experiment, ExperimentConfig, ExperimentError};
+use oocts_profile::engine::Granularity;
+use oocts_profile::runner::{
+    csv_header, run_experiment, run_experiment_streaming, ExperimentConfig, ExperimentError,
+};
 use oocts_tree::Tree;
 use serde::value::Value;
 
@@ -75,6 +112,13 @@ pub const BENCH_SCHEMA_VERSION: &str = "oocts-bench/v1";
 /// its exponential worst case would dominate the wall-time columns and the
 /// trajectory should track the practical strategies.
 pub const BENCH_SCHEDULERS: &str = "PostOrderMinIO,OptMinMem,RecExpand,PostOrderMinMem";
+
+/// The scheduler specs of the imbalanced grid (`bench --imbalanced`).
+/// `RecExpand` is additionally excluded here: its superlinear cost on the
+/// huge instance would make that row a *single-cell* critical path, which no
+/// cell-granularity balancing can split — the grid is built to measure load
+/// balancing, so its per-cell costs must be comparable.
+pub const IMBAL_SCHEDULERS: &str = "PostOrderMinIO,OptMinMem,PostOrderMinMem";
 
 /// Configuration of one benchmark run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +131,13 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Thread counts of the matrix (each run is repeated per count).
     pub threads: Vec<usize>,
+    /// Replace the matrix with the load-imbalance grid (`IMBAL` family):
+    /// one huge instance plus many tiny ones, the worst case for
+    /// instance-granularity sharding.
+    pub imbalanced: bool,
+    /// Execution-engine decomposition (`bench --sharding instance|cell`);
+    /// output is byte-identical either way, only wall-clock differs.
+    pub granularity: Granularity,
 }
 
 impl Default for BenchConfig {
@@ -96,6 +147,8 @@ impl Default for BenchConfig {
             quick: false,
             seed: 0x5eed,
             threads: vec![1, 4],
+            imbalanced: false,
+            granularity: Granularity::Cell,
         }
     }
 }
@@ -161,6 +214,74 @@ fn matrix_runs(config: &BenchConfig) -> Vec<MatrixRun> {
     runs
 }
 
+/// The deliberately imbalanced grid (`bench --imbalanced`): one huge SYNTH
+/// instance plus 63 tiny ones. Under instance-granularity sharding the huge
+/// instance pins a single worker for all schedulers in a row; the cell
+/// engine spreads its scheduler cells over the pool. Deterministic in
+/// `seed`, like the regular matrix.
+fn imbalanced_run(config: &BenchConfig) -> MatrixRun {
+    let (huge_nodes, tiny_nodes) = if config.quick {
+        (6_000, 150)
+    } else {
+        (1 << 18, 250)
+    };
+    let mut huge = synth_dataset(&DatasetConfig {
+        synth_instances: 1,
+        synth_nodes: huge_nodes,
+        trees_scale: 1,
+        seed: config.seed,
+    });
+    let tiny = synth_dataset(&DatasetConfig {
+        synth_instances: 63,
+        synth_nodes: tiny_nodes,
+        trees_scale: 1,
+        seed: config.seed.wrapping_add(1),
+    });
+    huge[0].name = "imbal-huge".to_string();
+    let mut instances: Vec<(String, Tree)> = huge.into_iter().map(|i| (i.name, i.tree)).collect();
+    instances.extend(
+        tiny.into_iter()
+            .map(|i| (format!("imbal-{}", i.name), i.tree)),
+    );
+    MatrixRun {
+        family: "IMBAL",
+        size: huge_nodes,
+        instances,
+    }
+}
+
+/// Streaming FNV-1a 64-bit digest, rendered `0x`-hex — the checksum behind
+/// the `csv_fnv64` snapshot field. Fed row by row as the engine streams
+/// results, so it also proves the streamed CSV equals the batch export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest rendered as `0x`-prefixed lowercase hex.
+    pub fn render(self) -> String {
+        format!("{:#018x}", self.0)
+    }
+}
+
 /// Runs the benchmark matrix and returns the snapshot as a JSON [`Value`]
 /// (validate with [`validate_bench`], write with
 /// [`Value::render_pretty`]).
@@ -170,33 +291,73 @@ fn matrix_runs(config: &BenchConfig) -> Vec<MatrixRun> {
 /// bounds are feasible by construction, so an error here is a regression.
 pub fn run_bench(config: &BenchConfig) -> Result<Value, ExperimentError> {
     let registry = SchedulerRegistry::with_builtins();
+    let spec = if config.imbalanced {
+        IMBAL_SCHEDULERS
+    } else {
+        BENCH_SCHEDULERS
+    };
     let schedulers: Vec<Arc<dyn Scheduler>> = registry
-        .get_list(BENCH_SCHEDULERS)
+        .get_list(spec)
         .expect("the built-in benchmark specs parse");
 
+    let runs = if config.imbalanced {
+        vec![imbalanced_run(config)]
+    } else {
+        matrix_runs(config)
+    };
     let mut cells = Vec::new();
-    for run in matrix_runs(config) {
+    for run in runs {
         for &threads in &config.threads {
             let mut exp = ExperimentConfig::new(schedulers.clone(), MemoryBound::Middle);
             exp.threads = threads;
-            let results = run_experiment(&run.instances, &exp)?;
+            exp.granularity = config.granularity;
+            // The per-instance CSV is digested as the engine streams rows
+            // out, not from the assembled results: identical `csv_fnv64`
+            // values across snapshots certify bit-identical CSV bytes AND
+            // that the streamed rows equal the batch export.
+            let mut digest = Fnv64::new();
+            digest.update(csv_header(&exp.scheduler_names()).as_bytes());
+            let results = run_experiment_streaming(&run.instances, &exp, |row| {
+                digest.update(row.csv_row().as_bytes());
+            })?;
+            let engine = results.engine.as_ref();
             for (a, name) in results.scheduler_names().iter().enumerate() {
-                cells.push(
-                    Value::object()
-                        .with("family", Value::Str(run.family.to_string()))
-                        .with("size", Value::U64(run.size as u64))
-                        .with("instances", Value::U64(results.results.len() as u64))
-                        .with("scheduler", Value::Str(name.clone()))
-                        .with("threads", Value::U64(threads as u64))
-                        .with("memory_bound", Value::Str(format!("{:?}", results.bound)))
-                        .with("total_io", Value::U64(results.total_io(a)))
-                        .with("mean_performance", Value::F64(results.mean_performance(a)))
-                        .with("max_peak", Value::U64(results.max_peak(a)))
-                        .with(
-                            "wall_ms",
-                            Value::F64(results.total_schedule_time(a).as_secs_f64() * 1e3),
-                        ),
-                );
+                let mut cell = Value::object()
+                    .with("family", Value::Str(run.family.to_string()))
+                    .with("size", Value::U64(run.size as u64))
+                    .with("instances", Value::U64(results.results.len() as u64))
+                    .with("scheduler", Value::Str(name.clone()))
+                    .with("threads", Value::U64(threads as u64))
+                    .with("memory_bound", Value::Str(format!("{:?}", results.bound)))
+                    .with("total_io", Value::U64(results.total_io(a)))
+                    .with("mean_performance", Value::F64(results.mean_performance(a)))
+                    .with("max_peak", Value::U64(results.max_peak(a)))
+                    .with(
+                        "wall_ms",
+                        Value::F64(results.total_schedule_time(a).as_secs_f64() * 1e3),
+                    );
+                if let Some(stats) = engine {
+                    cell = cell.with(
+                        "engine",
+                        Value::object()
+                            .with(
+                                "granularity",
+                                Value::Str(format!("{:?}", stats.granularity)),
+                            )
+                            .with("threads", Value::U64(stats.threads as u64))
+                            .with("elapsed_ms", Value::F64(stats.elapsed.as_secs_f64() * 1e3))
+                            .with("cells", Value::U64(stats.cells))
+                            .with("executed", Value::U64(stats.total_executed()))
+                            .with("stolen", Value::U64(stats.total_stolen()))
+                            .with("injected", Value::U64(stats.total_injected()))
+                            .with(
+                                "cell_wall_ms",
+                                Value::F64(results.total_cell_time(a).as_secs_f64() * 1e3),
+                            )
+                            .with("csv_fnv64", Value::Str(digest.render())),
+                    );
+                }
+                cells.push(cell);
             }
         }
     }
@@ -267,8 +428,10 @@ fn validate_cell(cell: &Value) -> Result<(), String> {
     let family = field("family")?
         .as_str()
         .ok_or("family: expected a string")?;
-    if family != "SYNTH" && family != "TREES" {
-        return Err(format!("family: expected SYNTH or TREES, found {family:?}"));
+    if family != "SYNTH" && family != "TREES" && family != "IMBAL" {
+        return Err(format!(
+            "family: expected SYNTH, TREES or IMBAL, found {family:?}"
+        ));
     }
     let size = field("size")?.as_u64().ok_or("size: expected an integer")?;
     if size == 0 {
@@ -312,6 +475,55 @@ fn validate_cell(cell: &Value) -> Result<(), String> {
     if !wall.is_finite() || wall < 0.0 {
         return Err(format!(
             "wall_ms: expected a non-negative number, found {wall}"
+        ));
+    }
+    // `engine` is an optional, schema-compatible addition: absent in
+    // pre-engine snapshots, validated when present.
+    if let Some(engine) = cell.get("engine") {
+        validate_engine(engine).map_err(|e| format!("engine.{e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_engine(engine: &Value) -> Result<(), String> {
+    let field = |key: &str| engine.get(key).ok_or_else(|| format!("{key}: missing"));
+
+    let granularity = field("granularity")?
+        .as_str()
+        .ok_or("granularity: expected a string")?;
+    if granularity != "Cell" && granularity != "Instance" {
+        return Err(format!(
+            "granularity: expected Cell or Instance, found {granularity:?}"
+        ));
+    }
+    let threads = field("threads")?
+        .as_u64()
+        .ok_or("threads: expected an integer")?;
+    if threads == 0 {
+        return Err("threads: must be positive".to_string());
+    }
+    for key in ["cells", "executed", "stolen", "injected"] {
+        field(key)?
+            .as_u64()
+            .ok_or_else(|| format!("{key}: expected a non-negative integer"))?;
+    }
+    for key in ["elapsed_ms", "cell_wall_ms"] {
+        let ms = field(key)?
+            .as_f64()
+            .ok_or_else(|| format!("{key}: expected a number"))?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("{key}: expected a non-negative number, found {ms}"));
+        }
+    }
+    let digest = field("csv_fnv64")?
+        .as_str()
+        .ok_or("csv_fnv64: expected a string")?;
+    if digest.len() != 18
+        || !digest.starts_with("0x")
+        || !digest[2..].bytes().all(|b| b.is_ascii_hexdigit())
+    {
+        return Err(format!(
+            "csv_fnv64: expected an 0x-prefixed 16-digit hex string, found {digest:?}"
         ));
     }
     Ok(())
@@ -428,6 +640,141 @@ mod tests {
         assert!(err.contains("cells[0].total_io"), "{err}");
 
         assert!(validate_bench(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn snapshot_cells_carry_a_valid_engine_object() {
+        let mut config = BenchConfig::quick();
+        config.label = "engine-unit".to_string();
+        config.threads = vec![2];
+        let snapshot = run_bench(&config).expect("paper bounds are feasible");
+        validate_bench(&snapshot).expect("schema-valid with engine objects");
+        let cells = snapshot.get("cells").unwrap().as_array().unwrap();
+        for cell in cells {
+            let engine = cell.get("engine").expect("engine runs attach stats");
+            assert_eq!(engine.get("granularity").unwrap().as_str(), Some("Cell"));
+            assert_eq!(engine.get("threads").unwrap().as_u64(), Some(2));
+            // Every cell of the matrix was executed by some worker.
+            let cells_run = engine.get("cells").unwrap().as_u64().unwrap();
+            let instances = cell.get("instances").unwrap().as_u64().unwrap();
+            assert_eq!(cells_run, instances * 4);
+            let executed = engine.get("executed").unwrap().as_u64().unwrap();
+            assert_eq!(executed, instances * 5, "4 solve cells + 1 prep each");
+        }
+    }
+
+    #[test]
+    fn imbalanced_grid_is_deterministic_across_shardings() {
+        let base = {
+            let mut c = BenchConfig::quick();
+            c.imbalanced = true;
+            c.threads = vec![4];
+            c
+        };
+        let cell = run_bench(&base).expect("feasible");
+        let instance = {
+            let mut c = base.clone();
+            c.granularity = Granularity::Instance;
+            run_bench(&c).expect("feasible")
+        };
+        for snap in [&cell, &instance] {
+            validate_bench(snap).expect("IMBAL snapshots are schema-valid");
+        }
+        let cells_of = |snap: &Value| match snap.get("cells") {
+            Some(Value::Array(c)) => c.clone(),
+            _ => unreachable!(),
+        };
+        let (a, b) = (cells_of(&cell), cells_of(&instance));
+        assert_eq!(a.len(), 3, "one IMBAL run x 3 IMBAL_SCHEDULERS");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.get("family").unwrap().as_str(), Some("IMBAL"));
+            // Deterministic fields are sharding-independent...
+            assert_eq!(x.get("total_io"), y.get("total_io"));
+            assert_eq!(x.get("max_peak"), y.get("max_peak"));
+            assert_eq!(x.get("instances"), y.get("instances"));
+            // ...and so is the streamed CSV, byte for byte.
+            assert_eq!(
+                x.get("engine").unwrap().get("csv_fnv64"),
+                y.get("engine").unwrap().get("csv_fnv64")
+            );
+            assert_eq!(
+                y.get("engine")
+                    .unwrap()
+                    .get("granularity")
+                    .unwrap()
+                    .as_str(),
+                Some("Instance")
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_csv_digest_matches_the_batch_export() {
+        let run = imbalanced_run(&BenchConfig::quick());
+        let registry = SchedulerRegistry::with_builtins();
+        let mut exp = ExperimentConfig::new(
+            registry.get_list(BENCH_SCHEDULERS).unwrap(),
+            MemoryBound::Middle,
+        );
+        exp.threads = 3;
+        let mut digest = Fnv64::new();
+        digest.update(csv_header(&exp.scheduler_names()).as_bytes());
+        let results = run_experiment_streaming(&run.instances, &exp, |row| {
+            digest.update(row.csv_row().as_bytes());
+        })
+        .expect("feasible");
+        let mut batch = Fnv64::new();
+        batch.update(results.to_csv().as_bytes());
+        assert_eq!(digest.render(), batch.render());
+        assert!(digest.render().starts_with("0x"));
+        assert_eq!(digest.render().len(), 18);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_engine_objects() {
+        let mut config = BenchConfig::quick();
+        config.threads = vec![1];
+        config.imbalanced = true;
+        let good = run_bench(&config).unwrap();
+
+        let mut bad = good.clone();
+        let mut cells = match bad.get("cells") {
+            Some(Value::Array(c)) => c.clone(),
+            _ => unreachable!(),
+        };
+        let mut engine = cells[0].get("engine").unwrap().clone();
+        engine.set("csv_fnv64", Value::Str("not-hex".to_string()));
+        cells[0].set("engine", engine);
+        bad.set("cells", Value::Array(cells));
+        let err = validate_bench(&bad).unwrap_err();
+        assert!(err.contains("cells[0].engine.csv_fnv64"), "{err}");
+
+        let mut bad_gran = good.clone();
+        let mut cells = match bad_gran.get("cells") {
+            Some(Value::Array(c)) => c.clone(),
+            _ => unreachable!(),
+        };
+        let mut engine = cells[1].get("engine").unwrap().clone();
+        engine.set("granularity", Value::Str("Sideways".to_string()));
+        cells[1].set("engine", engine);
+        bad_gran.set("cells", Value::Array(cells));
+        let err = validate_bench(&bad_gran).unwrap_err();
+        assert!(err.contains("engine.granularity"), "{err}");
+
+        // A cell with no engine object at all stays valid (pre-engine
+        // snapshots must keep validating).
+        let mut no_engine = good.clone();
+        let mut cells = match no_engine.get("cells") {
+            Some(Value::Array(c)) => c.clone(),
+            _ => unreachable!(),
+        };
+        for cell in &mut cells {
+            if let Value::Object(entries) = cell {
+                entries.retain(|(k, _)| k != "engine");
+            }
+        }
+        no_engine.set("cells", Value::Array(cells));
+        validate_bench(&no_engine).expect("engine is optional");
     }
 
     #[test]

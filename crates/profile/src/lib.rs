@@ -11,8 +11,10 @@
 //! * [`profile`] — Dolan–Moré performance profiles (cumulative distribution
 //!   of the overhead with respect to the best algorithm on each instance),
 //!   with CSV and ASCII rendering;
-//! * [`runner`] — a multi-threaded experiment runner that evaluates a set of
-//!   algorithms over a dataset and collects a result table.
+//! * [`engine`] — the cell-granularity work-stealing execution engine that
+//!   schedules (instance × scheduler) cells over per-worker deques;
+//! * [`runner`] — the experiment runner front-end: configuration, result
+//!   tables, CSV export, all executed on the engine.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -20,13 +22,16 @@
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod bounds;
+pub mod engine;
 pub mod metric;
 pub mod profile;
 pub mod runner;
 
 pub use bounds::{MemoryBound, MemoryBounds};
+pub use engine::{EngineStats, Granularity, WorkerStats};
 pub use metric::performance;
 pub use profile::PerformanceProfile;
 pub use runner::{
-    run_experiment, ExperimentConfig, ExperimentError, ExperimentResults, InstanceResult,
+    csv_header, run_experiment, run_experiment_streaming, ExperimentConfig, ExperimentError,
+    ExperimentResults, InstanceResult,
 };

@@ -2,10 +2,12 @@
 //!
 //! Evaluates a set of [`Scheduler`]s over a dataset of instances, one memory
 //! bound at a time, and collects per-instance I/O volumes and performances.
-//! Instances are distributed over worker threads through a shared atomic
-//! work index (each instance is independent, so this is embarrassingly
-//! parallel); the per-instance work itself stays sequential, exactly like
-//! the paper's simulations.
+//! Execution is delegated to the work-stealing [`crate::engine`]:
+//! the experiment matrix is decomposed into (instance × scheduler) cells,
+//! distributed over per-worker deques, and re-assembled into deterministic
+//! instance order — see the module docs of [`crate::engine`] for the full
+//! protocol. Each cell stays sequential inside, exactly like the paper's
+//! simulations.
 //!
 //! The runner is generic over the strategy set: anything implementing
 //! [`Scheduler`] — built-in or user-defined, typically obtained from
@@ -14,17 +16,14 @@
 //! registered name.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-use parking_lot::Mutex;
 
 use oocts_core::scheduler::{synth_schedulers, trees_schedulers, Scheduler};
 use oocts_tree::{Tree, TreeError};
 
 use crate::bounds::{MemoryBound, MemoryBounds};
-use crate::metric::performance;
+use crate::engine::{self, EngineStats, Granularity};
 use crate::profile::PerformanceProfile;
 
 /// Configuration of one experiment (one dataset × one memory bound).
@@ -40,6 +39,10 @@ pub struct ExperimentConfig {
     /// bound (no I/O is ever needed on them); the paper filters the TREES
     /// dataset this way.
     pub filter_interesting: bool,
+    /// How the engine decomposes the experiment matrix into work items
+    /// (cell granularity by default; instance granularity reproduces the
+    /// pre-engine sharding for comparisons).
+    pub granularity: Granularity,
 }
 
 impl ExperimentConfig {
@@ -50,6 +53,7 @@ impl ExperimentConfig {
             bound,
             threads: 0,
             filter_interesting: false,
+            granularity: Granularity::Cell,
         }
     }
 
@@ -80,6 +84,7 @@ impl std::fmt::Debug for ExperimentConfig {
             .field("bound", &self.bound)
             .field("threads", &self.threads)
             .field("filter_interesting", &self.filter_interesting)
+            .field("granularity", &self.granularity)
             .finish()
     }
 }
@@ -102,10 +107,15 @@ pub struct InstanceResult {
     /// In-core peak of every strategy's schedule.
     pub peak_memories: Vec<u64>,
     /// Scheduling wall-time of every strategy on this instance (the
-    /// [`oocts_core::scheduler::SolveReport::wall_time`] of each cell). The
-    /// only non-deterministic field of a result; the CSV export and all
-    /// regression comparisons deliberately exclude it.
+    /// [`oocts_core::scheduler::SolveReport::wall_time`] of each cell).
+    /// Non-deterministic; the CSV export and all regression comparisons
+    /// deliberately exclude it.
     pub wall_times: Vec<Duration>,
+    /// Engine-measured wall-time of every *cell* — scheduling plus schedule
+    /// replay and validation, everything the worker spent on the
+    /// (instance × scheduler) pair. Non-deterministic, excluded from the
+    /// CSV export like [`wall_times`](Self::wall_times).
+    pub cell_times: Vec<Duration>,
 }
 
 impl InstanceResult {
@@ -114,6 +124,43 @@ impl InstanceResult {
     pub fn algorithms_differ(&self) -> bool {
         self.io_volumes.windows(2).any(|w| w[0] != w[1])
     }
+
+    /// This instance's CSV row (RFC-4180-quoted, newline-terminated) — one
+    /// line of [`ExperimentResults::to_csv`]. Streaming consumers emit
+    /// [`csv_header`] once and then one row per
+    /// [`run_experiment_streaming`] callback; the concatenation is
+    /// byte-identical to the batch export.
+    pub fn csv_row(&self) -> String {
+        let mut out = String::with_capacity(self.name.len() + 8 * 12 + self.io_volumes.len() * 12);
+        push_csv_cell(&mut out, &self.name);
+        let _ = write!(
+            out,
+            ",{},{},{},{}",
+            self.nodes, self.bounds.lower_bound, self.bounds.peak_incore, self.memory
+        );
+        for io in &self.io_volumes {
+            let _ = write!(out, ",{io}");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// The CSV header line (newline-terminated) for the given scheduler-name
+/// columns, RFC-4180-quoted like the rows of
+/// [`InstanceResult::csv_row`].
+pub fn csv_header(scheduler_names: &[String]) -> String {
+    let mut out =
+        String::with_capacity(32 + scheduler_names.iter().map(|n| n.len() + 4).sum::<usize>());
+    out.push_str("instance,nodes,lb,peak,memory");
+    for name in scheduler_names {
+        out.push(',');
+        // Quote the whole `io_<name>` cell: a quote opening after the
+        // `io_` prefix would be literal per RFC 4180.
+        push_csv_cell(&mut out, &format!("io_{name}"));
+    }
+    out.push('\n');
+    out
 }
 
 /// A failure inside [`run_experiment`], pinned to the cell that produced it.
@@ -156,6 +203,10 @@ pub struct ExperimentResults {
     pub bound: MemoryBound,
     /// One entry per (kept) instance.
     pub results: Vec<InstanceResult>,
+    /// Execution statistics of the engine run that produced these results
+    /// (threads, per-worker steal/execute counters, wall-clock). `None` on
+    /// results assembled outside the engine (e.g. by deserialization).
+    pub engine: Option<EngineStats>,
 }
 
 impl std::fmt::Debug for ExperimentResults {
@@ -164,6 +215,7 @@ impl std::fmt::Debug for ExperimentResults {
             .field("schedulers", &self.scheduler_names())
             .field("bound", &self.bound)
             .field("results", &self.results)
+            .field("engine", &self.engine)
             .finish()
     }
 }
@@ -217,6 +269,7 @@ impl ExperimentResults {
                 .filter(|r| r.algorithms_differ())
                 .cloned()
                 .collect(),
+            engine: self.engine.clone(),
         }
     }
 
@@ -247,38 +300,20 @@ impl ExperimentResults {
         self.results.iter().map(|r| r.wall_times[a]).sum()
     }
 
+    /// Total engine-measured cell wall-time of strategy column `a` (sum of
+    /// the per-instance [`InstanceResult::cell_times`] — the full
+    /// schedule-and-replay cost, not just the scheduling part).
+    pub fn total_cell_time(&self, a: usize) -> Duration {
+        self.results.iter().map(|r| r.cell_times[a]).sum()
+    }
+
     /// Per-instance CSV (one row per instance, one I/O column per strategy),
-    /// RFC-4180-quoted where needed.
+    /// RFC-4180-quoted where needed. Byte-identical to streaming
+    /// [`csv_header`] + [`InstanceResult::csv_row`] per row.
     pub fn to_csv(&self) -> String {
-        let names = self.scheduler_names();
-        // Reserve once: header + per-row fixed cells (~20 digits of numbers
-        // and separators per cell) instead of reallocating per push.
-        let row_estimate: usize = self
-            .results
-            .iter()
-            .map(|r| r.name.len() + 8 * 12 + names.len() * 12)
-            .sum();
-        let header_estimate = 32 + names.iter().map(|n| n.len() + 4).sum::<usize>();
-        let mut out = String::with_capacity(header_estimate + row_estimate);
-        out.push_str("instance,nodes,lb,peak,memory");
-        for name in &names {
-            out.push(',');
-            // Quote the whole `io_<name>` cell: a quote opening after the
-            // `io_` prefix would be literal per RFC 4180.
-            push_csv_cell(&mut out, &format!("io_{name}"));
-        }
-        out.push('\n');
+        let mut out = csv_header(&self.scheduler_names());
         for r in &self.results {
-            push_csv_cell(&mut out, &r.name);
-            let _ = write!(
-                out,
-                ",{},{},{},{}",
-                r.nodes, r.bounds.lower_bound, r.bounds.peak_incore, r.memory
-            );
-            for io in &r.io_volumes {
-                let _ = write!(out, ",{io}");
-            }
-            out.push('\n');
+            out.push_str(&r.csv_row());
         }
         out
     }
@@ -288,125 +323,41 @@ impl ExperimentResults {
 /// the results. Instance order is preserved.
 ///
 /// # Errors
-/// Returns the error of the lowest-indexed failing instance, naming the
-/// (instance, scheduler) cell that failed. The first error raises a shared
-/// atomic cancellation flag that every worker checks between instances and
-/// between scheduler cells within an instance, so the remaining work —
-/// including the unfinished schedulers of in-flight instances — is
-/// abandoned promptly. The paper's memory bounds are feasible by
+/// Returns the error of the lowest-indexed failing cell, naming the
+/// (instance, scheduler) pair; the remaining work is abandoned as soon as
+/// any worker records an error. The paper's memory bounds are feasible by
 /// construction, so an error indicates a misconfigured instance or a buggy
 /// strategy.
 pub fn run_experiment(
     instances: &[(String, Tree)],
     config: &ExperimentConfig,
 ) -> Result<ExperimentResults, ExperimentError> {
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
+    run_experiment_streaming(instances, config, |_| {})
+}
 
-    let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; instances.len()]);
-    // Cancellation is split into a hot and a cold half. The hot half is one
-    // `AtomicBool` that workers poll between instances *and* between
-    // scheduler cells inside an instance — no lock on the hot path, and a
-    // poisoned run aborts mid-instance instead of at the next instance
-    // boundary. The cold half keeps the failing cell with the lowest
-    // instance index behind a mutex (touched only on error): with several
-    // workers in flight more than one can fail, and reducing to the
-    // lowest-indexed one makes the reported error independent of thread
-    // scheduling.
-    let cancelled = AtomicBool::new(false);
-    let first_error: Mutex<Option<(usize, ExperimentError)>> = Mutex::new(None);
-    // Work distribution: each worker claims the next unprocessed instance
-    // index; no queue to fill and nothing to disconnect.
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            let results = &results;
-            let cancelled = &cancelled;
-            let first_error = &first_error;
-            let next = &next;
-            let config = &config;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= instances.len() || cancelled.load(Ordering::Acquire) {
-                    break;
-                }
-                let (name, tree) = &instances[i];
-                match evaluate_instance(name, tree, config, cancelled) {
-                    Ok(Some(r)) => results.lock()[i] = Some(r),
-                    Ok(None) => {}
-                    Err(e) => {
-                        let mut slot = first_error.lock();
-                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                            *slot = Some((i, e));
-                        }
-                        drop(slot);
-                        cancelled.store(true, Ordering::Release);
-                        break;
-                    }
-                }
-            });
-        }
-    });
-
-    if let Some((_, e)) = first_error.into_inner() {
-        return Err(e);
-    }
+/// Like [`run_experiment`], but additionally hands every completed row to
+/// `on_row` — in deterministic instance order — as soon as its instance
+/// finishes, typically long before the whole grid does. This is how the
+/// figure binaries stream CSV rows to disk while large instances are still
+/// being solved.
+///
+/// Rows observed by `on_row` before an error surfaces are valid results of
+/// their instances; on error, the partial stream simply ends early.
+///
+/// # Errors
+/// Exactly like [`run_experiment`]: the lowest-indexed failing cell wins.
+pub fn run_experiment_streaming(
+    instances: &[(String, Tree)],
+    config: &ExperimentConfig,
+    on_row: impl FnMut(&InstanceResult),
+) -> Result<ExperimentResults, ExperimentError> {
+    let (results, stats) = engine::run(instances, config, on_row)?;
     Ok(ExperimentResults {
         schedulers: config.schedulers.clone(),
         bound: config.bound,
-        results: results.into_inner().into_iter().flatten().collect(),
+        results,
+        engine: Some(stats),
     })
-}
-
-fn evaluate_instance(
-    name: &str,
-    tree: &Tree,
-    config: &ExperimentConfig,
-    cancelled: &AtomicBool,
-) -> Result<Option<InstanceResult>, ExperimentError> {
-    let bounds = MemoryBounds::of(tree);
-    if config.filter_interesting && !bounds.is_interesting() {
-        return Ok(None);
-    }
-    let memory = bounds.memory(config.bound);
-    let mut io_volumes = Vec::with_capacity(config.schedulers.len());
-    let mut performances = Vec::with_capacity(config.schedulers.len());
-    let mut peak_memories = Vec::with_capacity(config.schedulers.len());
-    let mut wall_times = Vec::with_capacity(config.schedulers.len());
-    for scheduler in &config.schedulers {
-        // Another worker hit an error: abandon this instance between two
-        // scheduler cells; its partial results are dropped with it.
-        if cancelled.load(Ordering::Acquire) {
-            return Ok(None);
-        }
-        let report = scheduler
-            .solve(tree, memory)
-            .map_err(|source| ExperimentError {
-                instance: name.to_string(),
-                scheduler: scheduler.name(),
-                source,
-            })?;
-        io_volumes.push(report.io_volume);
-        performances.push(performance(memory, report.io_volume));
-        peak_memories.push(report.peak_memory);
-        wall_times.push(report.wall_time);
-    }
-    Ok(Some(InstanceResult {
-        name: name.to_string(),
-        nodes: tree.len(),
-        bounds,
-        memory,
-        io_volumes,
-        performances,
-        peak_memories,
-        wall_times,
-    }))
 }
 
 #[cfg(test)]
@@ -414,6 +365,7 @@ mod tests {
     use super::*;
     use oocts_core::scheduler::PostOrderMinIo;
     use oocts_tree::{Schedule, TreeBuilder, TreeError};
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn instance(seed: u64) -> (String, Tree) {
         // Small deterministic trees with varying weights.
