@@ -29,6 +29,7 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
         "L001 crates/core/src/lib.rs:6:",
         "L002 crates/bench/Cargo.toml:12:",
         "L002 crates/bench/Cargo.toml:15:",
+        "L002 crates/bench/Cargo.toml:18:",
         "L002 crates/core/Cargo.toml:7:",
         "L003 crates/core/src/lib.rs:11:",
         "L004 crates/core/src/lib.rs:18:",
@@ -43,12 +44,13 @@ fn bad_workspace_fails_with_one_diagnostic_per_rule() {
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
     }
-    // L001 twice (the unwrap and the fixture callee's panic!), L002 three
-    // times (core's registry version, bench's registry version and git
-    // dev-dependency), L005 twice (both preamble attributes missing), L009
-    // twice (cast + counter), W000 twice (superseded L003 waiver + the
-    // allow(no_alloc) misspelling); L003/L004/L006/L007/L008 once each.
-    assert!(stdout.contains("oocts-lint: 16 violations"), "{stdout}");
+    // L001 twice (the unwrap and the fixture callee's panic!), L002 four
+    // times (core's registry version; bench's registry version, git
+    // dev-dependency and crates.io crossbeam-deque), L005 twice (both
+    // preamble attributes missing), L009 twice (cast + counter), W000 twice
+    // (superseded L003 waiver + the allow(no_alloc) misspelling);
+    // L003/L004/L006/L007/L008 once each.
+    assert!(stdout.contains("oocts-lint: 17 violations"), "{stdout}");
 }
 
 #[test]
@@ -110,7 +112,7 @@ fn json_output_is_machine_readable_and_versioned() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8 output");
     assert!(
-        stdout.starts_with("{\"schema\":\"oocts-lint/v1\",\"count\":16,"),
+        stdout.starts_with("{\"schema\":\"oocts-lint/v1\",\"count\":17,"),
         "{stdout}"
     );
     assert!(stdout.contains("\"rule\":\"L004\""), "{stdout}");
@@ -135,8 +137,8 @@ fn rules_filter_limits_the_scan() {
     // A subset run skips the waiver audit too: W000 notes only appear when
     // everything runs (or W000 is named explicitly).
     assert!(!stdout.contains("W000"), "{stdout}");
-    // The fixture's three offline-dependency edges, and nothing else.
-    assert!(stdout.contains("oocts-lint: 3 violations\n"), "{stdout}");
+    // The fixture's four offline-dependency edges, and nothing else.
+    assert!(stdout.contains("oocts-lint: 4 violations\n"), "{stdout}");
     assert!(stdout.contains("crates/bench/Cargo.toml"), "{stdout}");
 }
 
